@@ -1,0 +1,140 @@
+// Command asbviz reproduces Figure 14 of the paper: the candidate-set
+// size of the adaptable spatial buffer over the concatenated mixed
+// workload INT-W-33 + U-W-33 + S-W-33. It prints per-phase averages, an
+// ASCII plot of the trajectory, and optionally the full series as CSV.
+//
+//	asbviz -db 1 -frac 0.047
+//	asbviz -csv trajectory.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		dbNum   = flag.Int("db", 1, "database number (1 or 2)")
+		objects = flag.Int("objects", 0, "object count (0 = default scale)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		frac    = flag.Float64("frac", experiment.LargestFrac, "buffer size as a fraction of the page count")
+		csvPath = flag.String("csv", "", "write the (refIndex, candidateSize) series as CSV")
+		width   = flag.Int("width", 100, "plot width in columns")
+		height  = flag.Int("height", 20, "plot height in rows")
+	)
+	flag.Parse()
+
+	if err := run(*dbNum, *objects, *seed, *frac, *csvPath, *width, *height); err != nil {
+		fmt.Fprintln(os.Stderr, "asbviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbNum, objects int, seed int64, frac float64, csvPath string, width, height int) error {
+	db, err := experiment.Get(dbNum, experiment.Options{Objects: objects, Seed: seed})
+	if err != nil {
+		return err
+	}
+	at, err := experiment.RunAdaptation(db, frac, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s, buffer %.1f%% (%d frames; main part %d, initial candidate %d)\n",
+		db.Name, frac*100, at.Frames, at.MainCap, at.Initial)
+	phases := []string{"INT-W-33", "U-W-33", "S-W-33"}
+	for p, name := range phases {
+		avg := at.PhaseAverage(p)
+		fmt.Printf("phase %d (%-8s): avg candidate size %6.1f  (%.0f%% of main part)\n",
+			p+1, name, avg, avg/float64(at.MainCap)*100)
+	}
+	fmt.Printf("%d adaptation events over %d references\n\n", len(at.Sizes), at.PhaseEnds[2])
+
+	plot(at, width, height, phases)
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintln(w, "ref,candidate")
+		for i := range at.Sizes {
+			fmt.Fprintf(w, "%d,%d\n", at.RefAt[i], at.Sizes[i])
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d samples to %s\n", len(at.Sizes), csvPath)
+	}
+	return nil
+}
+
+// plot renders the candidate-size trajectory as ASCII art with phase
+// boundaries marked.
+func plot(at *experiment.AdaptationTrace, width, height int, phases []string) {
+	if len(at.Sizes) == 0 {
+		fmt.Println("(no adaptation events)")
+		return
+	}
+	total := at.PhaseEnds[2]
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(ref int) int {
+		c := ref * (width - 1) / total
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(size int) int {
+		r := height - 1 - (size-1)*(height-1)/at.MainCap
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	// Draw the trajectory (step-wise, carrying the last size forward).
+	last := at.Initial
+	idx := 0
+	for ref := 0; ref < total; ref++ {
+		for idx < len(at.RefAt) && at.RefAt[idx] <= ref {
+			last = at.Sizes[idx]
+			idx++
+		}
+		grid[row(last)][col(ref)] = '*'
+	}
+	// Phase boundaries.
+	for _, end := range at.PhaseEnds[:2] {
+		c := col(end)
+		for r := 0; r < height; r++ {
+			if grid[r][c] == ' ' {
+				grid[r][c] = '|'
+			}
+		}
+	}
+	fmt.Printf("%4d +%s\n", at.MainCap, strings.Repeat("-", width))
+	for r, line := range grid {
+		label := "     "
+		if r == height-1 {
+			label = "   1 "
+		}
+		fmt.Printf("%s|%s\n", label, string(line))
+	}
+	fmt.Printf("     +%s\n", strings.Repeat("-", width))
+	fmt.Printf("      %-*s%-*s%s\n", width/3, phases[0], width/3, phases[1], phases[2])
+}

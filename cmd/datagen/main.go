@@ -1,0 +1,119 @@
+// Command datagen materializes the synthetic databases and query sets of
+// the reproduction as plain-text files for inspection or external use.
+//
+//	datagen -db 1 -objects 50000 -out ./data
+//
+// writes objects.csv (id,minx,miny,maxx,maxy), places.csv
+// (x,y,population) and one CSV per requested query set.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		dbNum   = flag.Int("db", 1, "database number (1 or 2)")
+		objects = flag.Int("objects", 0, "object count (0 = default scale)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("out", "data", "output directory")
+		sets    = flag.String("sets", "U-P,U-W-33,ID-W,S-P,INT-P,IND-P", "query sets to emit")
+		queries = flag.Int("queries", 1000, "queries per emitted set")
+	)
+	flag.Parse()
+
+	if err := run(*dbNum, *objects, *seed, *out, *sets, *queries); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbNum, objects int, seed int64, out, sets string, queries int) error {
+	db, err := experiment.Get(dbNum, experiment.Options{Objects: objects, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	if err := writeFile(filepath.Join(out, "objects.csv"), func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "id,minx,miny,maxx,maxy")
+		for _, o := range db.Objects {
+			fmt.Fprintf(w, "%d,%g,%g,%g,%g\n", o.ID, o.MBR.MinX, o.MBR.MinY, o.MBR.MaxX, o.MBR.MaxY)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := writeFile(filepath.Join(out, "places.csv"), func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "x,y,population")
+		for _, p := range db.Places {
+			fmt.Fprintf(w, "%g,%g,%d\n", p.Loc.X, p.Loc.Y, p.Population)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for _, name := range splitCSV(sets) {
+		qs, err := db.QuerySet(name, queries, seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, "queries-"+name+".csv")
+		if err := writeFile(path, func(w *bufio.Writer) error {
+			fmt.Fprintln(w, "id,minx,miny,maxx,maxy")
+			for _, q := range qs.Queries {
+				fmt.Fprintf(w, "%d,%g,%g,%g,%g\n", q.ID, q.Rect.MinX, q.Rect.MinY, q.Rect.MaxX, q.Rect.MaxY)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("%s: wrote %d objects, %d places and query sets [%s] to %s\n",
+		db.Name, len(db.Objects), len(db.Places), sets, out)
+	fmt.Printf("tree: %d pages (%.2f%% directory), height %d\n",
+		db.Stats.TotalPages(), db.Stats.DirFraction()*100, db.Stats.Height)
+	return nil
+}
+
+func writeFile(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if part := s[start:i]; part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Command tracedump records the page-reference trace of a query set
+// against a database and reports its structure: length, distinct pages,
+// per-level breakdown, and reuse statistics. With -refs it also dumps the
+// raw reference string.
+//
+//	tracedump -db 1 -set INT-P
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/page"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		dbNum   = flag.Int("db", 1, "database number (1 or 2)")
+		objects = flag.Int("objects", 0, "object count (0 = default scale)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		setName = flag.String("set", "U-P", "query set to trace")
+		queries = flag.Int("queries", 0, "query count (0 = calibrated)")
+		refs    = flag.Bool("refs", false, "dump the raw reference string")
+		out     = flag.String("out", "", "save the trace to a file (gob) for later replay")
+	)
+	flag.Parse()
+
+	if err := run(*dbNum, *objects, *seed, *setName, *queries, *refs, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbNum, objects int, seed int64, setName string, queries int, dumpRefs bool, out string) error {
+	db, err := experiment.Get(dbNum, experiment.Options{Objects: objects, Seed: seed})
+	if err != nil {
+		return err
+	}
+	var tr *trace.Trace
+	if queries == 0 {
+		tr, err = db.Trace(setName, seed)
+	} else {
+		set, qerr := db.QuerySet(setName, queries, seed)
+		if qerr != nil {
+			return qerr
+		}
+		tr, err = trace.Record(db.Tree, set)
+	}
+	if err != nil {
+		return err
+	}
+
+	touch := make(map[page.ID]int)
+	byLevel := make(map[int]int)
+	numQueries := uint64(0)
+	for _, r := range tr.Refs {
+		touch[r.Page]++
+		if r.Query > numQueries {
+			numQueries = r.Query
+		}
+	}
+	for id, n := range touch {
+		p, err := db.Store.Read(id)
+		if err != nil {
+			return err
+		}
+		byLevel[p.Level] += n
+	}
+
+	fmt.Printf("%s / %s: %d queries, %d page references, %d distinct pages\n",
+		db.Name, setName, numQueries, tr.Len(), len(touch))
+	fmt.Printf("references per query: %.2f\n", float64(tr.Len())/float64(numQueries))
+
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	for _, l := range levels {
+		kind := "data"
+		if l > 0 {
+			kind = "directory"
+		}
+		fmt.Printf("  level %d (%s): %d references (%.1f%%)\n",
+			l, kind, byLevel[l], float64(byLevel[l])/float64(tr.Len())*100)
+	}
+
+	counts := make([]int, 0, len(touch))
+	for _, c := range touch {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	cum, covered := 0, len(counts)
+	for i, c := range counts {
+		cum += c
+		if cum*10 >= sum*8 { // 80% of references
+			covered = i + 1
+			break
+		}
+	}
+	fmt.Printf("hottest page: %d references; 80%% of references hit %d pages (%.1f%% of touched)\n",
+		counts[0], covered, float64(covered)/float64(len(touch))*100)
+
+	if out != "" {
+		if err := tr.Save(out); err != nil {
+			return err
+		}
+		fmt.Printf("trace saved to %s\n", out)
+	}
+	if dumpRefs {
+		for _, r := range tr.Refs {
+			fmt.Printf("%d\t%d\n", r.Query, r.Page)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package buffer implements the buffer manager in front of a page store:
+// the component whose replacement policy the paper studies.
+//
+// The manager holds up to a fixed number of page frames. A page request is
+// a hit (served from memory, no physical I/O) or a miss (one physical read
+// through the store, possibly preceded by an eviction chosen by the
+// replacement Policy). Requests carry an AccessContext with the current
+// query ID: the paper (§2.2) treats two accesses as correlated exactly when
+// they belong to the same query, which the LRU-K policy needs.
+//
+// The replacement policies themselves (LRU, LRU-T, LRU-P, LRU-K, the
+// spatial strategies, SLRU and the adaptable spatial buffer) live in
+// package core; they plug in through the Policy interface.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// ErrAllPinned is returned when a miss cannot evict because every frame is
+// pinned.
+var ErrAllPinned = errors.New("buffer: all frames pinned")
+
+// AccessContext describes one page request. QueryID identifies the query
+// on whose behalf the request is made; the paper defines two accesses to
+// be correlated iff they share a query (§2.2).
+type AccessContext struct {
+	QueryID uint64
+}
+
+// Frame is one buffer slot: a cached page, its descriptor, and the
+// bookkeeping the manager and policy need.
+type Frame struct {
+	Meta page.Meta
+	Page *page.Page
+
+	// LastUse is the logical time (manager clock) of the most recent
+	// request for this frame. The manager updates it after OnHit returns,
+	// so policies observe the previous value during the callback and
+	// receive the new value as the callback's now argument.
+	LastUse uint64
+
+	// Dirty marks the page for write-back on eviction.
+	Dirty bool
+
+	pins int
+
+	// aux is policy-private per-frame state (list elements, heap indices,
+	// residence flags). Only the owning policy touches it.
+	aux any
+}
+
+// Pinned reports whether the frame is currently pinned and therefore not
+// evictable.
+func (f *Frame) Pinned() bool { return f.pins > 0 }
+
+// Aux returns the policy-private state attached to the frame.
+func (f *Frame) Aux() any { return f.aux }
+
+// SetAux attaches policy-private state to the frame.
+func (f *Frame) SetAux(v any) { f.aux = v }
+
+// Policy decides which frame to evict when the buffer is full.
+//
+// The manager guarantees: OnAdmit is called exactly once per residence of a
+// page; OnHit only for admitted frames; Victim only when at least one frame
+// exists; OnEvict exactly once for the frame most recently returned by
+// Victim. Victim must never return a pinned frame (return nil instead,
+// which the manager surfaces as ErrAllPinned).
+type Policy interface {
+	// Name returns the policy's display name (e.g. "LRU", "ASB").
+	Name() string
+	// OnAdmit is invoked when f enters the buffer at logical time now.
+	OnAdmit(f *Frame, now uint64, ctx AccessContext)
+	// OnHit is invoked when a request finds f in the buffer. f.LastUse
+	// still holds the previous access time; the manager sets it to now
+	// after the callback returns.
+	OnHit(f *Frame, now uint64, ctx AccessContext)
+	// Victim selects the frame to evict, or nil if every frame is pinned.
+	// ctx is the access on whose behalf the eviction happens; LRU-K uses
+	// it to exclude pages whose last reference is correlated with the
+	// current access (paper §2.2, third case).
+	Victim(ctx AccessContext) *Frame
+	// OnEvict is invoked after the manager removed f from the buffer.
+	OnEvict(f *Frame)
+	// Reset discards all policy state (the manager was cleared).
+	Reset()
+}
+
+// Stats are the logical access counters of a Manager. DiskReads equals
+// Misses: every miss costs exactly one physical read.
+type Stats struct {
+	Requests  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Puts counts write-path requests (Manager.Put); they are not part
+	// of Requests/Hits/Misses, which describe the read path.
+	Puts uint64
+	// WriteBacks counts dirty pages written to the store on eviction or
+	// Flush.
+	WriteBacks uint64
+}
+
+// DiskReads returns the number of physical reads caused through the
+// buffer — the paper's cost metric for read-only workloads.
+func (s Stats) DiskReads() uint64 { return s.Misses }
+
+// DiskIO returns physical reads plus write-backs — the cost metric for
+// update workloads.
+func (s Stats) DiskIO() uint64 { return s.Misses + s.WriteBacks }
+
+// HitRatio returns Hits/Requests, or 0 for an unused buffer.
+func (s Stats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// Manager is the buffer manager. It is not safe for concurrent use; the
+// experiment harness runs one manager per goroutine.
+type Manager struct {
+	store    storage.Store
+	policy   Policy
+	capacity int
+
+	frames map[page.ID]*Frame
+	clock  uint64
+	stats  Stats
+}
+
+// NewManager creates a buffer of the given capacity (in frames, ≥ 1) over
+// store, managed by policy.
+func NewManager(store storage.Store, policy Policy, capacity int) (*Manager, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d, need ≥ 1", capacity)
+	}
+	if store == nil || policy == nil {
+		return nil, errors.New("buffer: nil store or policy")
+	}
+	return &Manager{
+		store:    store,
+		policy:   policy,
+		capacity: capacity,
+		frames:   make(map[page.ID]*Frame, capacity),
+	}, nil
+}
+
+// Capacity returns the buffer capacity in frames.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Len returns the number of resident pages.
+func (m *Manager) Len() int { return len(m.frames) }
+
+// Contains reports whether the page is resident (without counting a
+// request or touching policy state).
+func (m *Manager) Contains(id page.ID) bool {
+	_, ok := m.frames[id]
+	return ok
+}
+
+// Policy returns the replacement policy driving this manager.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Stats returns the logical access counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Get requests the page without pinning it. The returned page must be
+// treated as read-only and may be evicted by any later request.
+func (m *Manager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
+	f, err := m.request(id, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return f.Page, nil
+}
+
+// Fix requests the page and pins its frame; the caller must Unfix it.
+// Pinned frames are never evicted.
+func (m *Manager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
+	f, err := m.request(id, ctx)
+	if err != nil {
+		return nil, err
+	}
+	f.pins++
+	return f.Page, nil
+}
+
+// Unfix releases one pin on the page.
+func (m *Manager) Unfix(id page.ID) error {
+	f, ok := m.frames[id]
+	if !ok {
+		return fmt.Errorf("buffer: unfix of non-resident page %d", id)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: unfix of unpinned page %d", id)
+	}
+	f.pins--
+	return nil
+}
+
+// MarkDirty flags a resident page for write-back on eviction or Flush.
+func (m *Manager) MarkDirty(id page.ID) error {
+	f, ok := m.frames[id]
+	if !ok {
+		return fmt.Errorf("buffer: mark dirty of non-resident page %d", id)
+	}
+	f.Dirty = true
+	return nil
+}
+
+// request implements the hit/miss protocol.
+func (m *Manager) request(id page.ID, ctx AccessContext) (*Frame, error) {
+	m.clock++
+	now := m.clock
+	m.stats.Requests++
+
+	if f, ok := m.frames[id]; ok {
+		m.stats.Hits++
+		m.policy.OnHit(f, now, ctx)
+		f.LastUse = now
+		return f, nil
+	}
+
+	m.stats.Misses++
+	if len(m.frames) >= m.capacity {
+		if err := m.evictOne(ctx); err != nil {
+			return nil, err
+		}
+	}
+	p, err := m.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Meta: p.Meta, Page: p, LastUse: now}
+	m.frames[id] = f
+	m.policy.OnAdmit(f, now, ctx)
+	return f, nil
+}
+
+// evictOne asks the policy for a victim, writes it back if dirty, and
+// removes it.
+func (m *Manager) evictOne(ctx AccessContext) error {
+	v := m.policy.Victim(ctx)
+	if v == nil {
+		return ErrAllPinned
+	}
+	if v.Pinned() {
+		return fmt.Errorf("buffer: policy %s returned pinned victim %d", m.policy.Name(), v.Meta.ID)
+	}
+	if _, ok := m.frames[v.Meta.ID]; !ok {
+		return fmt.Errorf("buffer: policy %s returned non-resident victim %d", m.policy.Name(), v.Meta.ID)
+	}
+	if v.Dirty {
+		if err := m.store.Write(v.Page); err != nil {
+			return fmt.Errorf("buffer: write-back of page %d: %w", v.Meta.ID, err)
+		}
+		m.stats.WriteBacks++
+	}
+	delete(m.frames, v.Meta.ID)
+	m.stats.Evictions++
+	m.policy.OnEvict(v)
+	return nil
+}
+
+// Flush writes back all dirty resident pages without evicting them.
+func (m *Manager) Flush() error {
+	for _, f := range m.frames {
+		if !f.Dirty {
+			continue
+		}
+		if err := m.store.Write(f.Page); err != nil {
+			return fmt.Errorf("buffer: flush page %d: %w", f.Meta.ID, err)
+		}
+		m.stats.WriteBacks++
+		f.Dirty = false
+	}
+	return nil
+}
+
+// Clear evicts everything (writing back dirty pages), resets the policy
+// and zeroes the statistics. The paper clears the buffer before each query
+// set "in order to increase the comparability of the results" (§3).
+func (m *Manager) Clear() error {
+	if err := m.Flush(); err != nil {
+		return err
+	}
+	m.frames = make(map[page.ID]*Frame, m.capacity)
+	m.policy.Reset()
+	m.clock = 0
+	m.stats = Stats{}
+	return nil
+}
+
+// ResidentIDs returns the IDs of all resident pages, for tests and
+// introspection. Order is unspecified.
+func (m *Manager) ResidentIDs() []page.ID {
+	ids := make([]page.ID, 0, len(m.frames))
+	for id := range m.frames {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Updater is an optional Policy extension for policies that cache
+// page-derived state (e.g. spatial criteria): OnUpdate is invoked instead
+// of OnHit when a resident page's content changes via Put.
+type Updater interface {
+	OnUpdate(f *Frame, now uint64, ctx AccessContext)
+}
+
+// Put installs a new version of a page in the buffer and marks it dirty;
+// it is the write path for update workloads. A non-resident page is
+// admitted without a physical read (the caller provides the content); a
+// resident page is replaced in place. Dirty pages are written back on
+// eviction or Flush.
+func (m *Manager) Put(p *page.Page, ctx AccessContext) error {
+	if p == nil || p.ID == page.InvalidID {
+		return errors.New("buffer: put of invalid page")
+	}
+	m.clock++
+	now := m.clock
+	m.stats.Puts++
+
+	if f, ok := m.frames[p.ID]; ok {
+		f.Page = p
+		f.Meta = p.Meta
+		f.Dirty = true
+		if u, ok := m.policy.(Updater); ok {
+			u.OnUpdate(f, now, ctx)
+		} else {
+			m.policy.OnHit(f, now, ctx)
+		}
+		f.LastUse = now
+		return nil
+	}
+
+	if len(m.frames) >= m.capacity {
+		if err := m.evictOne(ctx); err != nil {
+			return err
+		}
+	}
+	f := &Frame{Meta: p.Meta, Page: p, LastUse: now, Dirty: true}
+	m.frames[p.ID] = f
+	m.policy.OnAdmit(f, now, ctx)
+	return nil
+}

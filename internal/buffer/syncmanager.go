@@ -1,0 +1,83 @@
+package buffer
+
+import (
+	"sync"
+
+	"repro/internal/page"
+)
+
+// SyncManager wraps a Manager with a mutex so that multiple goroutines
+// can share one buffer (e.g. concurrent read-only queries against the
+// same tree and buffer). The experiment harness instead runs one manager
+// per goroutine — replays are independent — but applications embedding
+// the library typically want a single shared buffer.
+//
+// The wrapper serializes whole requests; it trades concurrency for the
+// strict accounting the policies rely on (policy callbacks observe a
+// consistent buffer state).
+type SyncManager struct {
+	mu sync.Mutex
+	m  *Manager
+}
+
+// NewSyncManager wraps an existing manager. The wrapped manager must not
+// be used directly afterwards.
+func NewSyncManager(m *Manager) *SyncManager {
+	return &SyncManager{m: m}
+}
+
+// Get implements the Reader contract of rtree.Reader.
+func (s *SyncManager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Get(id, ctx)
+}
+
+// Put installs a new page version (see Manager.Put).
+func (s *SyncManager) Put(p *page.Page, ctx AccessContext) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Put(p, ctx)
+}
+
+// Fix pins a page (see Manager.Fix).
+func (s *SyncManager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Fix(id, ctx)
+}
+
+// Unfix releases a pin (see Manager.Unfix).
+func (s *SyncManager) Unfix(id page.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Unfix(id)
+}
+
+// Flush writes back all dirty pages (see Manager.Flush).
+func (s *SyncManager) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Flush()
+}
+
+// Clear resets the buffer (see Manager.Clear).
+func (s *SyncManager) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Clear()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *SyncManager) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Stats()
+}
+
+// Len returns the number of resident pages.
+func (s *SyncManager) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Len()
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// ASBOptions parameterize the adaptable spatial buffer. The defaults are
+// the paper's settings (§4.3): an overflow buffer of 20% of the complete
+// buffer, an initial candidate set of 25% of the remaining (main) part,
+// adapted in steps of 1% of the main part.
+type ASBOptions struct {
+	// Criterion is the spatial criterion; the paper uses A.
+	Criterion page.Criterion
+	// OverflowFrac is the fraction of the total buffer reserved for the
+	// FIFO overflow buffer.
+	OverflowFrac float64
+	// InitialCandFrac is the initial candidate-set size as a fraction of
+	// the main part.
+	InitialCandFrac float64
+	// StepFrac is the adaptation step as a fraction of the main part.
+	StepFrac float64
+	// OnAdapt, if non-nil, is invoked after every adaptation with the new
+	// candidate-set size (used to plot Fig. 14).
+	OnAdapt func(candSize int)
+}
+
+// DefaultASBOptions returns the paper's parameter settings.
+func DefaultASBOptions() ASBOptions {
+	return ASBOptions{
+		Criterion:       page.CritA,
+		OverflowFrac:    0.20,
+		InitialCandFrac: 0.25,
+		StepFrac:        0.01,
+	}
+}
+
+// ASB is the adaptable spatial buffer (paper §4.2), the self-tuning
+// combination of LRU and a spatial page-replacement strategy:
+//
+//   - The buffer is split into a main part and a FIFO overflow buffer.
+//   - The main part is an SLRU: victims are chosen spatially from the
+//     candidate set of the `cand` least recently used pages — but instead
+//     of leaving memory they are demoted into the overflow buffer.
+//   - Real evictions take the overflow buffer's FIFO head.
+//   - When a request hits the overflow buffer, the page is promoted back
+//     into the main part, and the candidate-set size adapts: among the
+//     other overflow pages, count those with a better (larger) spatial
+//     criterion than the promoted page and those with a better (more
+//     recent) LRU criterion. More better-spatial pages means the spatial
+//     strategy misjudged the page LRU would have kept — shrink the
+//     candidate set toward LRU; more better-LRU pages means grow it
+//     toward the spatial strategy; equal counts leave it unchanged.
+//
+// Both parts together never exceed the buffer capacity, so — unlike
+// LRU-K — ASB needs no state for pages that have left the buffer.
+type ASB struct {
+	crit     page.Criterion
+	mainCap  int
+	overCap  int
+	initCand int
+	step     int
+	onAdapt  func(int)
+
+	cand int // current candidate-set size, in [1, mainCap]
+
+	// main holds *buffer.Frame, front = most recently used.
+	main *list.List
+	// over holds *buffer.Frame, front = oldest (next FIFO victim).
+	over *list.List
+
+	adaptations uint64
+}
+
+// asbAux is the per-frame state of an ASB policy.
+type asbAux struct {
+	elem   *list.Element
+	crit   float64
+	inOver bool
+}
+
+// NewASB returns an adaptable spatial buffer for a buffer of the given
+// total capacity (in frames). Zero-valued option fields take the paper's
+// defaults.
+func NewASB(capacity int, opts ASBOptions) *ASB {
+	if capacity < 2 {
+		panic(fmt.Sprintf("core: ASB needs capacity ≥ 2, got %d", capacity))
+	}
+	def := DefaultASBOptions()
+	if opts.OverflowFrac <= 0 {
+		opts.OverflowFrac = def.OverflowFrac
+	}
+	if opts.InitialCandFrac <= 0 {
+		opts.InitialCandFrac = def.InitialCandFrac
+	}
+	if opts.StepFrac <= 0 {
+		opts.StepFrac = def.StepFrac
+	}
+	overCap := int(opts.OverflowFrac*float64(capacity) + 0.5)
+	if overCap < 1 {
+		overCap = 1
+	}
+	if overCap > capacity-1 {
+		overCap = capacity - 1
+	}
+	mainCap := capacity - overCap
+	a := &ASB{
+		crit:     opts.Criterion,
+		mainCap:  mainCap,
+		overCap:  overCap,
+		initCand: clamp(int(opts.InitialCandFrac*float64(mainCap)+0.5), 1, mainCap),
+		step:     clamp(int(opts.StepFrac*float64(mainCap)+0.5), 1, mainCap),
+		onAdapt:  opts.OnAdapt,
+		main:     list.New(),
+		over:     list.New(),
+	}
+	a.cand = a.initCand
+	return a
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Name implements buffer.Policy.
+func (p *ASB) Name() string { return "ASB" }
+
+// CandidateSize returns the current (adapted) candidate-set size.
+func (p *ASB) CandidateSize() int { return p.cand }
+
+// MainCapacity returns the capacity of the main part in frames.
+func (p *ASB) MainCapacity() int { return p.mainCap }
+
+// OverflowCapacity returns the capacity of the overflow buffer in frames.
+func (p *ASB) OverflowCapacity() int { return p.overCap }
+
+// OverflowLen returns the number of pages currently in the overflow
+// buffer.
+func (p *ASB) OverflowLen() int { return p.over.Len() }
+
+// Adaptations returns how many overflow hits adjusted the candidate size.
+func (p *ASB) Adaptations() uint64 { return p.adaptations }
+
+// OnAdmit implements buffer.Policy: new pages enter the main part at the
+// MRU position; if the main part exceeds its share, its SLRU victim is
+// demoted into the overflow buffer.
+func (p *ASB) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := &asbAux{crit: p.crit.Value(f.Meta)}
+	f.SetAux(aux)
+	aux.elem = p.main.PushFront(f)
+	p.rebalance()
+}
+
+// OnHit implements buffer.Policy. A hit in the main part refreshes
+// recency. A hit in the overflow buffer adapts the candidate-set size
+// (§4.2, cases 1–3) and promotes the page back into the main part.
+func (p *ASB) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*asbAux)
+	if !aux.inOver {
+		p.main.MoveToFront(aux.elem)
+		return
+	}
+	p.adapt(f, aux)
+	p.over.Remove(aux.elem)
+	aux.inOver = false
+	aux.elem = p.main.PushFront(f)
+	p.rebalance()
+}
+
+// adapt applies the self-tuning rule on an overflow hit. f.LastUse still
+// holds the promoted page's previous access time (the manager updates it
+// after OnHit), so the LRU comparison sees the state that led to the
+// demotion.
+func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
+	betterSpatial, betterLRU := 0, 0
+	for e := p.over.Front(); e != nil; e = e.Next() {
+		q := e.Value.(*buffer.Frame)
+		if q == f {
+			continue
+		}
+		if q.Aux().(*asbAux).crit > aux.crit {
+			betterSpatial++
+		}
+		if q.LastUse > f.LastUse {
+			betterLRU++
+		}
+	}
+	// The overflow population is not a neutral sample: every page in it
+	// was *selected* for a small spatial criterion by the main part's
+	// victim choice, which deflates the better-spatial count relative to
+	// the better-LRU count. Growing the candidate set therefore requires
+	// a margin (a quarter of the overflow occupancy); shrinking is taken
+	// at face value. This keeps the adaptation of §4.2 stable on
+	// workloads hostile to the spatial strategy — see DESIGN.md §5.
+	margin := p.over.Len() / 4
+	if margin < 1 {
+		margin = 1
+	}
+	switch {
+	case betterSpatial > betterLRU:
+		// The spatial strategy would have kept many pages ahead of the
+		// page that was actually re-requested: LRU judged better. Shrink
+		// twice as fast as growing: robustness (never losing badly to
+		// LRU) is the design goal, and the deflated better-spatial count
+		// means each shrink signal is strong evidence.
+		p.cand = clamp(p.cand-2*p.step, 1, p.mainCap)
+	case betterLRU > betterSpatial+margin:
+		// LRU would have kept clearly more pages ahead of the
+		// re-requested page: the spatial strategy judged better.
+		p.cand = clamp(p.cand+p.step, 1, p.mainCap)
+	}
+	p.adaptations++
+	if p.onAdapt != nil {
+		p.onAdapt(p.cand)
+	}
+}
+
+// rebalance demotes main-part SLRU victims into the overflow buffer until
+// the main part is within its share. Pinned pages are never demoted.
+func (p *ASB) rebalance() {
+	for p.main.Len() > p.mainCap {
+		v := p.mainVictim()
+		if v == nil {
+			return // everything pinned; tolerate a temporarily oversized main part
+		}
+		aux := v.Aux().(*asbAux)
+		p.main.Remove(aux.elem)
+		aux.inOver = true
+		aux.elem = p.over.PushBack(v)
+	}
+}
+
+// mainVictim selects the SLRU victim of the main part: the unpinned page
+// with the smallest spatial criterion among the cand least recently used;
+// scanning from the LRU end keeps ties on the older page.
+func (p *ASB) mainVictim() *buffer.Frame {
+	var best *buffer.Frame
+	var bestCrit float64
+	seen := 0
+	for e := p.main.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*buffer.Frame)
+		seen++
+		if !f.Pinned() {
+			if c := f.Aux().(*asbAux).crit; best == nil || c < bestCrit {
+				best, bestCrit = f, c
+			}
+		}
+		if seen >= p.cand && best != nil {
+			break
+		}
+	}
+	return best
+}
+
+// Victim implements buffer.Policy: the FIFO head of the overflow buffer.
+// If the overflow buffer is empty (or fully pinned) the main part's SLRU
+// victim is evicted directly.
+func (p *ASB) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	for e := p.over.Front(); e != nil; e = e.Next() {
+		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+			return f
+		}
+	}
+	return p.mainVictim()
+}
+
+// OnEvict implements buffer.Policy.
+func (p *ASB) OnEvict(f *buffer.Frame) {
+	aux := f.Aux().(*asbAux)
+	if aux.inOver {
+		p.over.Remove(aux.elem)
+	} else {
+		p.main.Remove(aux.elem)
+	}
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy: both parts are cleared and the
+// candidate-set size returns to its initial value.
+func (p *ASB) Reset() {
+	p.main.Init()
+	p.over.Init()
+	p.cand = p.initCand
+	p.adaptations = 0
+}
+
+// OnUpdate implements buffer.Updater: the cached criterion is refreshed
+// and the page treated as used. A write to an overflow page promotes it
+// back to the main part WITHOUT adapting the candidate size — §4.2's
+// adaptation signal is defined for re-*references*, and an update is not
+// evidence about which read strategy judged the page correctly.
+func (p *ASB) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*asbAux)
+	aux.crit = p.crit.Value(f.Meta)
+	if !aux.inOver {
+		p.main.MoveToFront(aux.elem)
+		return
+	}
+	p.over.Remove(aux.elem)
+	aux.inOver = false
+	aux.elem = p.main.PushFront(f)
+	p.rebalance()
+}

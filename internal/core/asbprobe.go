@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// ASBProbe is a diagnostic ASB variant with a FIXED candidate size that
+// records the raw adaptation signals instead of acting on them. It is used
+// by calibration tooling to inspect the §4.2 signal distribution under a
+// controlled candidate size.
+type ASBProbe struct {
+	*ASB
+	up, down, eq int
+	// Diffs records betterLRU − betterSpatial per overflow hit.
+	Diffs []int
+}
+
+// NewASBProbe builds a probe with the candidate set pinned to candFrac of
+// the main part.
+func NewASBProbe(capacity int, crit page.Criterion, candFrac float64) *ASBProbe {
+	p := &ASBProbe{}
+	opts := DefaultASBOptions()
+	opts.Criterion = crit
+	opts.InitialCandFrac = candFrac
+	opts.OnAdapt = func(int) {}
+	p.ASB = NewASB(capacity, opts)
+	return p
+}
+
+// OnHit intercepts overflow hits to record the raw signal, then restores
+// the pinned candidate size.
+func (p *ASBProbe) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*asbAux)
+	pinned := p.cand
+	wasOver := aux.inOver
+	if wasOver {
+		betterSpatial, betterLRU := 0, 0
+		for e := p.over.Front(); e != nil; e = e.Next() {
+			q := e.Value.(*buffer.Frame)
+			if q == f {
+				continue
+			}
+			if q.Aux().(*asbAux).crit > aux.crit {
+				betterSpatial++
+			}
+			if q.LastUse > f.LastUse {
+				betterLRU++
+			}
+		}
+		switch {
+		case betterSpatial > betterLRU:
+			p.down++
+		case betterLRU > betterSpatial:
+			p.up++
+		default:
+			p.eq++
+		}
+		p.Diffs = append(p.Diffs, betterLRU-betterSpatial)
+	}
+	p.ASB.OnHit(f, now, ctx)
+	p.cand = pinned
+}
+
+// Signals returns the recorded (grow, shrink, equal) event counts.
+func (p *ASBProbe) Signals() (up, down, eq int) { return p.up, p.down, p.eq }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"container/ring"
+
+	"repro/internal/buffer"
+)
+
+// Clock is the classic second-chance (CLOCK) approximation of LRU: frames
+// sit on a circular list with a reference bit; the hand sweeps, clearing
+// bits, and evicts the first frame whose bit is already clear. It is the
+// policy most disk-based DBMS actually ship and serves as an additional
+// baseline beyond the paper's set.
+type Clock struct {
+	hand *ring.Ring // current clock hand; nil when empty
+	size int
+}
+
+// clockAux is the per-frame state of a Clock policy.
+type clockAux struct {
+	node *ring.Ring
+	ref  bool
+}
+
+// NewClock returns a CLOCK policy.
+func NewClock() *Clock { return &Clock{} }
+
+// Name implements buffer.Policy.
+func (p *Clock) Name() string { return "CLOCK" }
+
+// OnAdmit implements buffer.Policy: the frame is inserted behind the hand
+// with its reference bit CLEAR — the bit is earned by a re-reference, so
+// one-shot pages are evicted on the first sweep (the second-chance
+// variant that approximates LRU most closely).
+func (p *Clock) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	n := ring.New(1)
+	n.Value = f
+	f.SetAux(&clockAux{node: n, ref: false})
+	if p.hand == nil {
+		p.hand = n
+	} else {
+		p.hand.Prev().Link(n)
+	}
+	p.size++
+}
+
+// OnHit implements buffer.Policy: set the reference bit.
+func (p *Clock) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	f.Aux().(*clockAux).ref = true
+}
+
+// Victim implements buffer.Policy: sweep, clearing reference bits, until
+// an unpinned frame with a clear bit is found.
+func (p *Clock) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	if p.hand == nil {
+		return nil
+	}
+	// Two full sweeps suffice: the first clears bits, the second must
+	// find a victim unless everything is pinned.
+	for i := 0; i < 2*p.size; i++ {
+		f := p.hand.Value.(*buffer.Frame)
+		aux := f.Aux().(*clockAux)
+		if !f.Pinned() && !aux.ref {
+			return f
+		}
+		if !f.Pinned() {
+			aux.ref = false
+		}
+		p.hand = p.hand.Next()
+	}
+	return nil
+}
+
+// OnEvict implements buffer.Policy.
+func (p *Clock) OnEvict(f *buffer.Frame) {
+	aux := f.Aux().(*clockAux)
+	if p.size == 1 {
+		p.hand = nil
+	} else {
+		if p.hand == aux.node {
+			p.hand = p.hand.Next()
+		}
+		aux.node.Prev().Unlink(1)
+	}
+	p.size--
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy.
+func (p *Clock) Reset() {
+	p.hand = nil
+	p.size = 0
+}
+
+// PinLevels is the buffer of Leutenegger & Lopez (ICDE 1998), which the
+// paper cites as the special case its LRU-P generalizes: pages at tree
+// level ≥ MinLevel are pinned in the buffer (never evicted as long as an
+// alternative exists); the rest is plain LRU.
+type PinLevels struct {
+	// MinLevel is the lowest tree level that is pinned (e.g. 1 pins all
+	// directory levels of an R-tree).
+	MinLevel int
+	lru      *LRU
+}
+
+// NewPinLevels returns a policy pinning pages at level ≥ minLevel.
+func NewPinLevels(minLevel int) *PinLevels {
+	return &PinLevels{MinLevel: minLevel, lru: NewLRU()}
+}
+
+// Name implements buffer.Policy.
+func (p *PinLevels) Name() string { return "PIN" }
+
+// OnAdmit implements buffer.Policy.
+func (p *PinLevels) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	p.lru.OnAdmit(f, now, ctx)
+}
+
+// OnHit implements buffer.Policy.
+func (p *PinLevels) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	p.lru.OnHit(f, now, ctx)
+}
+
+// pinned reports whether the frame belongs to a pinned level.
+func (p *PinLevels) pinnedLevel(f *buffer.Frame) bool {
+	return f.Meta.Level >= p.MinLevel
+}
+
+// Victim implements buffer.Policy: the LRU frame among non-pinned levels;
+// if only pinned-level frames remain, the LRU of those (the buffer must
+// stay functional).
+func (p *PinLevels) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	var fallback *buffer.Frame
+	for e := p.lru.order.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*buffer.Frame)
+		if f.Pinned() {
+			continue
+		}
+		if !p.pinnedLevel(f) {
+			return f
+		}
+		if fallback == nil {
+			fallback = f
+		}
+	}
+	return fallback
+}
+
+// OnEvict implements buffer.Policy.
+func (p *PinLevels) OnEvict(f *buffer.Frame) { p.lru.OnEvict(f) }
+
+// Reset implements buffer.Policy.
+func (p *PinLevels) Reset() { p.lru.Reset() }

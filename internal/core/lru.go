@@ -1,0 +1,94 @@
+package core
+
+import (
+	"container/list"
+
+	"repro/internal/buffer"
+)
+
+// LRU is the least-recently-used baseline policy: the victim is the
+// unpinned page that has not been accessed for the longest time.
+type LRU struct {
+	// order holds *buffer.Frame values, front = most recently used.
+	order *list.List
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New()}
+}
+
+// Name implements buffer.Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// OnAdmit implements buffer.Policy.
+func (p *LRU) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	f.SetAux(p.order.PushFront(f))
+}
+
+// OnHit implements buffer.Policy.
+func (p *LRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	p.order.MoveToFront(f.Aux().(*list.Element))
+}
+
+// Victim implements buffer.Policy: the least recently used unpinned frame.
+func (p *LRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+			return f
+		}
+	}
+	return nil
+}
+
+// OnEvict implements buffer.Policy.
+func (p *LRU) OnEvict(f *buffer.Frame) {
+	p.order.Remove(f.Aux().(*list.Element))
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy.
+func (p *LRU) Reset() { p.order.Init() }
+
+// FIFO evicts pages in admission order regardless of later hits. It is
+// used as the eviction rule of the ASB overflow buffer and available as a
+// standalone baseline.
+type FIFO struct {
+	// order holds *buffer.Frame values, front = oldest admission.
+	order *list.List
+}
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{order: list.New()}
+}
+
+// Name implements buffer.Policy.
+func (p *FIFO) Name() string { return "FIFO" }
+
+// OnAdmit implements buffer.Policy.
+func (p *FIFO) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	f.SetAux(p.order.PushBack(f))
+}
+
+// OnHit implements buffer.Policy: hits do not reorder a FIFO.
+func (p *FIFO) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {}
+
+// Victim implements buffer.Policy: the oldest unpinned admission.
+func (p *FIFO) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+			return f
+		}
+	}
+	return nil
+}
+
+// OnEvict implements buffer.Policy.
+func (p *FIFO) OnEvict(f *buffer.Frame) {
+	p.order.Remove(f.Aux().(*list.Element))
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy.
+func (p *FIFO) Reset() { p.order.Init() }

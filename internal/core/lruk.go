@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// LRUK is the LRU-K page-replacement algorithm of O'Neil, O'Neil and
+// Weikum, as described in §2.2 of the paper. For every page p it records
+// HIST(p), the time stamps of the K most recent uncorrelated references;
+// the victim is the unpinned page with the oldest HIST(q,K) among pages
+// whose last reference is not correlated with the current access.
+//
+// Two accesses are correlated iff they belong to the same query. The
+// history survives eviction — the paper's "essential disadvantage": the
+// number of retained records grows with the number of distinct pages ever
+// buffered, not with the buffer size. HistRecords and HistBytes expose
+// this cost for the memory comparison against ASB in the evaluation.
+type LRUK struct {
+	k        int
+	resident map[*buffer.Frame]struct{}
+	hist     map[page.ID]*histRec
+}
+
+// histRec is the retained reference history of one page.
+type histRec struct {
+	// times[0] is HIST(p,1), the most recent uncorrelated reference;
+	// times[k-1] is HIST(p,K). Zero means "no such reference yet".
+	times []uint64
+	// lastQuery is the query that made the most recent reference, used
+	// to detect correlated accesses.
+	lastQuery uint64
+}
+
+// NewLRUK returns an LRU-K policy. K must be ≥ 1; LRU-1 degenerates to
+// LRU with correlated-reference collapsing.
+func NewLRUK(k int) *LRUK {
+	if k < 1 {
+		panic(fmt.Sprintf("core: LRU-K needs K ≥ 1, got %d", k))
+	}
+	return &LRUK{
+		k:        k,
+		resident: make(map[*buffer.Frame]struct{}),
+		hist:     make(map[page.ID]*histRec),
+	}
+}
+
+// Name implements buffer.Policy.
+func (p *LRUK) Name() string { return fmt.Sprintf("LRU-%d", p.k) }
+
+// K returns the history depth.
+func (p *LRUK) K() int { return p.k }
+
+// touch records a reference to the page at time now by query q,
+// collapsing correlated references (paper §2.2, cases 1 and 2).
+func (p *LRUK) touch(id page.ID, now, q uint64) {
+	rec := p.hist[id]
+	if rec == nil {
+		rec = &histRec{times: make([]uint64, p.k)}
+		p.hist[id] = rec
+	} else if rec.lastQuery == q {
+		// Correlated with the most recent reference: replace HIST(p,1).
+		rec.times[0] = now
+		return
+	}
+	// Uncorrelated: shift the history and insert the new HIST(p,1).
+	copy(rec.times[1:], rec.times)
+	rec.times[0] = now
+	rec.lastQuery = q
+}
+
+// OnAdmit implements buffer.Policy.
+func (p *LRUK) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	p.resident[f] = struct{}{}
+	p.touch(f.Meta.ID, now, ctx.QueryID)
+}
+
+// OnHit implements buffer.Policy.
+func (p *LRUK) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	p.touch(f.Meta.ID, now, ctx.QueryID)
+}
+
+// Victim implements buffer.Policy. Among unpinned pages whose most recent
+// reference is not correlated with the current access, it picks the one
+// with the oldest HIST(q,K); pages with fewer than K recorded references
+// rank oldest (HIST(q,K) = 0). Ties break on the older HIST(q,1). If every
+// page is correlated with the current query, the restriction is dropped
+// (otherwise a buffer smaller than one query's working set could never
+// evict) — one of the "special cases" footnote 2 of the paper leaves open.
+func (p *LRUK) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	v := p.victim(ctx, true)
+	if v == nil {
+		v = p.victim(ctx, false)
+	}
+	return v
+}
+
+func (p *LRUK) victim(ctx buffer.AccessContext, excludeCorrelated bool) *buffer.Frame {
+	var best *buffer.Frame
+	var bestK, best1 uint64
+	for f := range p.resident {
+		if f.Pinned() {
+			continue
+		}
+		rec := p.hist[f.Meta.ID]
+		if excludeCorrelated && rec.lastQuery == ctx.QueryID {
+			continue
+		}
+		hk := rec.times[p.k-1]
+		h1 := rec.times[0]
+		if best == nil || hk < bestK || (hk == bestK && h1 < best1) ||
+			(hk == bestK && h1 == best1 && f.Meta.ID < best.Meta.ID) {
+			best, bestK, best1 = f, hk, h1
+		}
+	}
+	return best
+}
+
+// OnEvict implements buffer.Policy. The history record is retained.
+func (p *LRUK) OnEvict(f *buffer.Frame) {
+	delete(p.resident, f)
+}
+
+// Reset implements buffer.Policy: it clears residency AND the retained
+// histories (a cleared buffer starts cold, as in the paper's experiments).
+func (p *LRUK) Reset() {
+	p.resident = make(map[*buffer.Frame]struct{})
+	p.hist = make(map[page.ID]*histRec)
+}
+
+// HistRecords returns the number of retained history records — the count
+// of distinct pages ever buffered since the last Reset.
+func (p *LRUK) HistRecords() int { return len(p.hist) }
+
+// HistBytes estimates the memory held by the retained histories: per
+// record K time stamps, the correlation query ID and the map key.
+func (p *LRUK) HistBytes() int {
+	const perRecordOverhead = 8 /* key */ + 8 /* lastQuery */ + 24 /* slice header */
+	return len(p.hist) * (perRecordOverhead + 8*p.k)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"container/list"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// PriorityFunc assigns a replacement priority to a page: the higher the
+// priority, the longer the page should stay in the buffer (paper §2.1).
+type PriorityFunc func(m page.Meta) int
+
+// TypePriority is the LRU-T assignment: object pages are dropped first,
+// then data pages; directory pages stay longest.
+func TypePriority(m page.Meta) int {
+	switch m.Type {
+	case page.TypeObject:
+		return 0
+	case page.TypeData:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// LevelPriority is the LRU-P assignment: object pages have priority 0 and
+// the priority of a SAM page grows with its height in the tree, so the
+// root has the highest priority — a generalization of pinning the top
+// levels of the index (Leutenegger & Lopez).
+func LevelPriority(m page.Meta) int {
+	if m.Type == page.TypeObject {
+		return 0
+	}
+	return 1 + m.Level
+}
+
+// PriorityLRU keeps one LRU chain per priority class and always evicts
+// from the lowest-priority non-empty class. With TypePriority it is the
+// paper's LRU-T, with LevelPriority its LRU-P.
+type PriorityLRU struct {
+	name string
+	prio PriorityFunc
+	// classes maps priority → LRU list of *buffer.Frame (front = MRU).
+	classes map[int]*list.List
+}
+
+// prioAux is the per-frame state of a PriorityLRU.
+type prioAux struct {
+	class int
+	elem  *list.Element
+}
+
+// NewLRUT returns the type-based LRU policy (paper §2.1).
+func NewLRUT() *PriorityLRU {
+	return NewPriorityLRU("LRU-T", TypePriority)
+}
+
+// NewLRUP returns the priority-based (tree-level) LRU policy (paper §2.1).
+func NewLRUP() *PriorityLRU {
+	return NewPriorityLRU("LRU-P", LevelPriority)
+}
+
+// NewPriorityLRU returns an LRU policy stratified by the given priority
+// function.
+func NewPriorityLRU(name string, prio PriorityFunc) *PriorityLRU {
+	return &PriorityLRU{name: name, prio: prio, classes: make(map[int]*list.List)}
+}
+
+// Name implements buffer.Policy.
+func (p *PriorityLRU) Name() string { return p.name }
+
+// OnAdmit implements buffer.Policy.
+func (p *PriorityLRU) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	class := p.prio(f.Meta)
+	l := p.classes[class]
+	if l == nil {
+		l = list.New()
+		p.classes[class] = l
+	}
+	f.SetAux(&prioAux{class: class, elem: l.PushFront(f)})
+}
+
+// OnHit implements buffer.Policy.
+func (p *PriorityLRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*prioAux)
+	p.classes[aux.class].MoveToFront(aux.elem)
+}
+
+// Victim implements buffer.Policy: the LRU frame of the lowest-priority
+// class containing an unpinned frame.
+func (p *PriorityLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	classes := make([]int, 0, len(p.classes))
+	for c, l := range p.classes {
+		if l.Len() > 0 {
+			classes = append(classes, c)
+		}
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		for e := p.classes[c].Back(); e != nil; e = e.Prev() {
+			if f := e.Value.(*buffer.Frame); !f.Pinned() {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// OnEvict implements buffer.Policy.
+func (p *PriorityLRU) OnEvict(f *buffer.Frame) {
+	aux := f.Aux().(*prioAux)
+	p.classes[aux.class].Remove(aux.elem)
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy.
+func (p *PriorityLRU) Reset() {
+	p.classes = make(map[int]*list.List)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// SLRU is the static combination of LRU and a spatial strategy (paper
+// §4.1): LRU computes a candidate set — the candSize least recently used
+// pages — and the spatial criterion picks the victim from it (minimum
+// criterion, LRU tie-break). candSize interpolates between pure LRU
+// (candSize = 1) and the pure spatial policy (candSize = buffer size).
+type SLRU struct {
+	crit     page.Criterion
+	candSize int
+	// order holds *buffer.Frame values, front = most recently used.
+	order *list.List
+}
+
+// slruAux is the per-frame state of an SLRU policy.
+type slruAux struct {
+	elem *list.Element
+	crit float64
+}
+
+// NewSLRU returns an SLRU policy with a fixed candidate-set size of
+// candSize frames (≥ 1).
+func NewSLRU(crit page.Criterion, candSize int) *SLRU {
+	if candSize < 1 {
+		panic(fmt.Sprintf("core: SLRU candidate size must be ≥ 1, got %d", candSize))
+	}
+	return &SLRU{crit: crit, candSize: candSize, order: list.New()}
+}
+
+// Name implements buffer.Policy.
+func (p *SLRU) Name() string { return fmt.Sprintf("SLRU(%s,%d)", p.crit, p.candSize) }
+
+// CandidateSize returns the fixed candidate-set size.
+func (p *SLRU) CandidateSize() int { return p.candSize }
+
+// OnAdmit implements buffer.Policy.
+func (p *SLRU) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	f.SetAux(&slruAux{elem: p.order.PushFront(f), crit: p.crit.Value(f.Meta)})
+}
+
+// OnHit implements buffer.Policy.
+func (p *SLRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	p.order.MoveToFront(f.Aux().(*slruAux).elem)
+}
+
+// Victim implements buffer.Policy: the minimum-criterion unpinned frame
+// among the candSize least recently used; scanning from the LRU end keeps
+// ties on the older page. If the candidate set holds no unpinned frame the
+// scan continues past it (degrading to LRU) rather than failing.
+func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	var best *buffer.Frame
+	var bestCrit float64
+	seen := 0
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*buffer.Frame)
+		seen++
+		if !f.Pinned() {
+			if c := f.Aux().(*slruAux).crit; best == nil || c < bestCrit {
+				best, bestCrit = f, c
+			}
+		}
+		if seen >= p.candSize && best != nil {
+			break
+		}
+	}
+	return best
+}
+
+// OnEvict implements buffer.Policy.
+func (p *SLRU) OnEvict(f *buffer.Frame) {
+	p.order.Remove(f.Aux().(*slruAux).elem)
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy.
+func (p *SLRU) Reset() { p.order.Init() }
+
+// OnUpdate implements buffer.Updater: refresh the cached criterion and
+// the recency position.
+func (p *SLRU) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*slruAux)
+	aux.crit = p.crit.Value(f.Meta)
+	p.order.MoveToFront(aux.elem)
+}

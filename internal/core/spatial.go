@@ -1,0 +1,151 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// Spatial is a pure spatial page-replacement policy (paper §2.3): the
+// victim is the unpinned page with the smallest spatial criterion
+// (area, entry areas, margin, entry margins or entry overlap); among pages
+// of equal criterion the least recently used is dropped, exactly the
+// two-step selection rule of the paper.
+//
+// The criterion of a page never changes while it is resident (pages are
+// read-only during queries), so frames live in an indexed min-heap ordered
+// by (criterion, last use); hits only need a heap fix for the recency
+// component and eviction is O(log n).
+type Spatial struct {
+	crit page.Criterion
+	h    spatialHeap
+}
+
+// spatialAux is the per-frame state of a Spatial policy.
+type spatialAux struct {
+	idx  int     // position in the heap, -1 if absent
+	crit float64 // cached criterion value
+	use  uint64  // recency shadow of Frame.LastUse, updated in OnHit
+}
+
+// NewSpatial returns the spatial policy for the given criterion; paper
+// names: A, EA, M, EM, EO.
+func NewSpatial(crit page.Criterion) *Spatial {
+	return &Spatial{crit: crit}
+}
+
+// Name implements buffer.Policy: the paper's abbreviation of the
+// criterion.
+func (p *Spatial) Name() string { return p.crit.String() }
+
+// Criterion returns the spatial criterion this policy ranks by.
+func (p *Spatial) Criterion() page.Criterion { return p.crit }
+
+// OnAdmit implements buffer.Policy.
+func (p *Spatial) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := &spatialAux{crit: p.crit.Value(f.Meta), use: now}
+	f.SetAux(aux)
+	heap.Push(&p.h, f)
+}
+
+// OnHit implements buffer.Policy: only the LRU tie-break component
+// changes.
+func (p *Spatial) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*spatialAux)
+	aux.use = now
+	heap.Fix(&p.h, aux.idx)
+}
+
+// Victim implements buffer.Policy: the minimum-criterion unpinned frame,
+// ties broken by least recent use.
+func (p *Spatial) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	// Pop pinned frames aside, take the first unpinned, push the pinned
+	// ones back. Pins are rare and shallow in this workload.
+	var parked []*buffer.Frame
+	var victim *buffer.Frame
+	for p.h.Len() > 0 {
+		f := p.h.frames[0]
+		if !f.Pinned() {
+			victim = f
+			break
+		}
+		parked = append(parked, heap.Pop(&p.h).(*buffer.Frame))
+	}
+	for _, f := range parked {
+		heap.Push(&p.h, f)
+	}
+	return victim
+}
+
+// OnEvict implements buffer.Policy.
+func (p *Spatial) OnEvict(f *buffer.Frame) {
+	aux := f.Aux().(*spatialAux)
+	if aux.idx >= 0 {
+		heap.Remove(&p.h, aux.idx)
+	}
+	f.SetAux(nil)
+}
+
+// Reset implements buffer.Policy.
+func (p *Spatial) Reset() { p.h.frames = nil }
+
+// Len returns the number of tracked frames (for tests).
+func (p *Spatial) Len() int { return p.h.Len() }
+
+// checkAux panics with a descriptive message if a frame lacks spatial aux
+// state; only used in heap internals where corruption means a bug.
+func checkAux(f *buffer.Frame) *spatialAux {
+	aux, ok := f.Aux().(*spatialAux)
+	if !ok {
+		panic(fmt.Sprintf("core: frame %d has no spatial state", f.Meta.ID))
+	}
+	return aux
+}
+
+// spatialHeap is an indexed min-heap of frames ordered by
+// (criterion, last use).
+type spatialHeap struct {
+	frames []*buffer.Frame
+}
+
+func (h *spatialHeap) Len() int { return len(h.frames) }
+
+func (h *spatialHeap) Less(i, j int) bool {
+	a, b := checkAux(h.frames[i]), checkAux(h.frames[j])
+	if a.crit != b.crit {
+		return a.crit < b.crit
+	}
+	return a.use < b.use
+}
+
+func (h *spatialHeap) Swap(i, j int) {
+	h.frames[i], h.frames[j] = h.frames[j], h.frames[i]
+	checkAux(h.frames[i]).idx = i
+	checkAux(h.frames[j]).idx = j
+}
+
+func (h *spatialHeap) Push(x any) {
+	f := x.(*buffer.Frame)
+	checkAux(f).idx = len(h.frames)
+	h.frames = append(h.frames, f)
+}
+
+func (h *spatialHeap) Pop() any {
+	n := len(h.frames)
+	f := h.frames[n-1]
+	h.frames[n-1] = nil
+	h.frames = h.frames[:n-1]
+	checkAux(f).idx = -1
+	return f
+}
+
+// OnUpdate implements buffer.Updater: the page content changed, so the
+// cached criterion is recomputed and the heap reordered.
+func (p *Spatial) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
+	aux := f.Aux().(*spatialAux)
+	aux.crit = p.crit.Value(f.Meta)
+	aux.use = now
+	heap.Fix(&p.h, aux.idx)
+}

@@ -1,0 +1,49 @@
+package page
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchPage(entries int) *Page {
+	rng := rand.New(rand.NewSource(1))
+	p := New(1, TypeData, 0, entries)
+	for i := 0; i < entries; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		p.Append(Entry{MBR: geom.NewRect(x, y, x+rng.Float64()*5, y+rng.Float64()*5)})
+	}
+	return p
+}
+
+// BenchmarkRecompute measures the full statistics pass including the
+// O(n²) entry overlap, at the paper's data-page fan-out.
+func BenchmarkRecompute(b *testing.B) {
+	p := benchPage(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Recompute()
+	}
+}
+
+// BenchmarkRecomputeFast measures the O(n) pass used on the index build
+// path.
+func BenchmarkRecomputeFast(b *testing.B) {
+	p := benchPage(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RecomputeFast()
+	}
+}
+
+func BenchmarkCriterionValue(b *testing.B) {
+	p := benchPage(42)
+	p.Recompute()
+	b.ResetTimer()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum += Criterion(i % 5).Value(p.Meta)
+	}
+	_ = sum
+}

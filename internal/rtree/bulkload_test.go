@@ -1,0 +1,122 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+func bulkEntries(objs []obj) []page.Entry {
+	out := make([]page.Entry, len(objs))
+	for i, o := range objs {
+		out[i] = page.Entry{MBR: o.mbr, ObjID: o.id}
+	}
+	return out
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad(storage.NewMemStore(), testParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumObjects() != 0 || tr.Height() != 1 {
+		t.Errorf("empty bulk load: %d objects, height %d", tr.NumObjects(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad(nil, testParams(), nil); err == nil {
+		t.Error("nil store should fail")
+	}
+	s := storage.NewMemStore()
+	if _, err := BulkLoad(s, testParams(), []page.Entry{{MBR: geom.EmptyRect()}}); err == nil {
+		t.Error("invalid MBR should fail")
+	}
+	if _, err := BulkLoad(s, testParams(), []page.Entry{
+		{MBR: geom.NewRect(0, 0, 1, 1), Child: 5},
+	}); err == nil {
+		t.Error("child pointer in bulk item should fail")
+	}
+}
+
+func TestBulkLoadMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 5, 6, 7, 100, 2500} {
+		objs := randObjs(rng, n)
+		tr, err := BulkLoad(storage.NewMemStore(), testParams(), bulkEntries(objs))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.NumObjects() != n {
+			t.Errorf("n=%d: NumObjects = %d", n, tr.NumObjects())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			q := geom.RectFromCenter(
+				geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, 120, 90)
+			got := searchIDs(t, tr, q)
+			want := bruteSearch(objs, q)
+			if !idsMatch(got, want) {
+				t.Fatalf("n=%d trial %d: got %d, want %d", n, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestBulkLoadPacksTighter(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	objs := randObjs(rng, 4000)
+	bulk, err := BulkLoad(storage.NewMemStore(), testParams(), bulkEntries(objs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := buildTree(t, objs)
+	bs, err := bulk.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := ins.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.TotalPages() >= is.TotalPages() {
+		t.Errorf("bulk load (%d pages) should pack tighter than insertion (%d pages)",
+			bs.TotalPages(), is.TotalPages())
+	}
+}
+
+func TestBulkLoadedTreeSupportsMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	objs := randObjs(rng, 1000)
+	tr, err := BulkLoad(storage.NewMemStore(), testParams(), bulkEntries(objs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert and delete on a bulk-loaded tree must keep it valid.
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		if err := tr.Insert(uint64(10000+i), geom.NewRect(x, y, x+1, y+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, idx := range rng.Perm(len(objs))[:200] {
+		found, err := tr.Delete(objs[idx].id, objs[idx].mbr)
+		if err != nil || !found {
+			t.Fatalf("delete: %v %v", found, err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumObjects() != 1000 {
+		t.Errorf("NumObjects = %d, want 1000", tr.NumObjects())
+	}
+}

@@ -1,0 +1,147 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/page"
+)
+
+// Reader supplies tree pages to queries. buffer.Manager implements it, so
+// queries can be routed through a buffer whose replacement policy is under
+// study; StoreReader bypasses buffering.
+type Reader interface {
+	Get(id page.ID, ctx buffer.AccessContext) (*page.Page, error)
+}
+
+// StoreReader adapts a storage.Store into a Reader (every access is a
+// physical read).
+type StoreReader struct {
+	Store interface {
+		Read(id page.ID) (*page.Page, error)
+	}
+}
+
+// Get implements Reader.
+func (r StoreReader) Get(id page.ID, _ buffer.AccessContext) (*page.Page, error) {
+	return r.Store.Read(id)
+}
+
+// Visit is called for every matching data entry. Returning false stops the
+// query early.
+type Visit func(e page.Entry) bool
+
+// Search reports all data entries whose MBR intersects query, reading
+// pages through rd under the given access context. This is the window
+// query of the paper's experiments.
+func (t *Tree) Search(rd Reader, ctx buffer.AccessContext, query geom.Rect, fn Visit) error {
+	return t.search(rd, ctx, query, geom.Rect.Intersects, fn)
+}
+
+// SearchContained reports all data entries whose MBR lies completely
+// inside query.
+func (t *Tree) SearchContained(rd Reader, ctx buffer.AccessContext, query geom.Rect, fn Visit) error {
+	return t.search(rd, ctx, query, func(q, e geom.Rect) bool { return q.Contains(e) }, fn)
+}
+
+// PointQuery reports all data entries whose MBR contains the point.
+func (t *Tree) PointQuery(rd Reader, ctx buffer.AccessContext, pt geom.Point, fn Visit) error {
+	return t.Search(rd, ctx, geom.RectFromPoint(pt), fn)
+}
+
+// search runs a depth-first window query; leafPred decides whether a data
+// entry matches (directory descent always uses intersection).
+func (t *Tree) search(rd Reader, ctx buffer.AccessContext, query geom.Rect,
+	leafPred func(q, e geom.Rect) bool, fn Visit) error {
+
+	stack := []page.ID{t.root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node, err := rd.Get(id, ctx)
+		if err != nil {
+			return fmt.Errorf("rtree: search: %w", err)
+		}
+		if node.Level == 0 {
+			for _, e := range node.Entries {
+				if leafPred(query, e.MBR) {
+					if !fn(e) {
+						return nil
+					}
+				}
+			}
+			continue
+		}
+		for _, e := range node.Entries {
+			if query.Intersects(e.MBR) {
+				stack = append(stack, e.Child)
+			}
+		}
+	}
+	return nil
+}
+
+// Neighbor is one result of a nearest-neighbour query.
+type Neighbor struct {
+	Entry page.Entry
+	Dist  float64 // MinDist from the query point to the entry MBR
+}
+
+// NearestNeighbors returns the k data entries closest to pt (by MBR
+// MinDist), nearest first, using best-first traversal with a priority
+// queue (Hjaltason & Samet). Fewer than k results are returned if the tree
+// is smaller than k.
+func (t *Tree) NearestNeighbors(rd Reader, ctx buffer.AccessContext, k int, pt geom.Point) ([]Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	pq := &nnQueue{}
+	heap.Push(pq, nnItem{dist: 0, pageID: t.root, isPage: true})
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		item := heap.Pop(pq).(nnItem)
+		if !item.isPage {
+			out = append(out, Neighbor{Entry: item.entry, Dist: item.dist})
+			continue
+		}
+		node, err := rd.Get(item.pageID, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("rtree: nearest neighbors: %w", err)
+		}
+		for _, e := range node.Entries {
+			child := nnItem{dist: e.MBR.MinDist(pt), entry: e}
+			if node.Level > 0 {
+				child.isPage = true
+				child.pageID = e.Child
+			}
+			heap.Push(pq, child)
+		}
+	}
+	return out, nil
+}
+
+// nnItem is a priority-queue element: either a page to expand or a data
+// entry candidate.
+type nnItem struct {
+	dist   float64
+	isPage bool
+	pageID page.ID
+	entry  page.Entry
+}
+
+// nnQueue is a min-heap of nnItems by distance.
+type nnQueue []nnItem
+
+func (q nnQueue) Len() int           { return len(q) }
+func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnItem)) }
+func (q *nnQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,103 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/geom"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// ctxNone returns an empty access context.
+func ctxNone() buffer.AccessContext { return buffer.AccessContext{} }
+
+// pageEntry aliases for test brevity.
+type pageEntry = page.Entry
+
+// rectSet is a quick-generatable batch of rectangles.
+type rectSet struct {
+	Rects []geom.Rect
+}
+
+// Generate implements quick.Generator: 0–120 finite rectangles.
+func (rectSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(120)
+	rs := rectSet{Rects: make([]geom.Rect, n)}
+	for i := range rs.Rects {
+		x := r.NormFloat64() * 200
+		y := r.NormFloat64() * 200
+		w := math.Abs(r.NormFloat64()) * 30
+		h := math.Abs(r.NormFloat64()) * 30
+		rs.Rects[i] = geom.NewRect(x, y, x+w, y+h)
+	}
+	return reflect.ValueOf(rs)
+}
+
+// TestQuickInsertInvariants: inserting any batch of rectangles yields a
+// structurally valid tree that finds every inserted object by its own
+// MBR.
+func TestQuickInsertInvariants(t *testing.T) {
+	f := func(rs rectSet) bool {
+		tr, err := New(storage.NewMemStore(), testParams())
+		if err != nil {
+			return false
+		}
+		for i, r := range rs.Rects {
+			if err := tr.Insert(uint64(i+1), r); err != nil {
+				return false
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		for i, r := range rs.Rects {
+			found := false
+			err := tr.Search(StoreReader{Store: tr.Store()}, ctxNone(), r,
+				func(e pageEntry) bool {
+					if e.ObjID == uint64(i+1) {
+						found = true
+						return false
+					}
+					return true
+				})
+			if err != nil || !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeleteInverse: deleting everything just inserted leaves an
+// empty, valid tree.
+func TestQuickDeleteInverse(t *testing.T) {
+	f := func(rs rectSet) bool {
+		tr, err := New(storage.NewMemStore(), testParams())
+		if err != nil {
+			return false
+		}
+		for i, r := range rs.Rects {
+			if err := tr.Insert(uint64(i+1), r); err != nil {
+				return false
+			}
+		}
+		for i, r := range rs.Rects {
+			found, err := tr.Delete(uint64(i+1), r)
+			if err != nil || !found {
+				return false
+			}
+		}
+		return tr.NumObjects() == 0 && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Validate checks the structural invariants of the tree and returns the
+// first violation found. It is intended for tests and costs a full tree
+// walk:
+//
+//   - every node's stored MBR is the union of its entry MBRs;
+//   - every directory entry's MBR equals its child's MBR;
+//   - children of a level-l node are at level l−1, leaves at level 0;
+//   - page types match levels (data at 0, directory above);
+//   - all non-root nodes hold between m and M entries;
+//   - the number of reachable objects equals NumObjects().
+func (t *Tree) Validate() error {
+	objects := 0
+	var check func(id page.ID, isRoot bool, expectLevel int) error
+	check = func(id page.ID, isRoot bool, expectLevel int) error {
+		node, err := t.read(id)
+		if err != nil {
+			return err
+		}
+		if expectLevel >= 0 && node.Level != expectLevel {
+			return fmt.Errorf("rtree: node %d at level %d, expected %d", id, node.Level, expectLevel)
+		}
+		wantType := page.TypeData
+		if node.Level > 0 {
+			wantType = page.TypeDirectory
+		}
+		if node.Type != wantType {
+			return fmt.Errorf("rtree: node %d level %d has type %v", id, node.Level, node.Type)
+		}
+		maxE := t.params.maxEntries(node.Level)
+		minE := t.params.minEntries(node.Level)
+		if len(node.Entries) > maxE {
+			return fmt.Errorf("rtree: node %d has %d entries, max %d", id, len(node.Entries), maxE)
+		}
+		if !isRoot && len(node.Entries) < minE {
+			return fmt.Errorf("rtree: node %d has %d entries, min %d", id, len(node.Entries), minE)
+		}
+		if isRoot && node.Level > 0 && len(node.Entries) < 2 {
+			return fmt.Errorf("rtree: directory root %d has %d entries", id, len(node.Entries))
+		}
+		union := node.MBR
+		fromEntries := node.Entries
+		_ = fromEntries
+		acc := page.New(0, node.Type, node.Level, 0)
+		acc.Entries = node.Entries
+		acc.RecomputeFast()
+		if !acc.MBR.Equal(union) {
+			return fmt.Errorf("rtree: node %d MBR %v != union of entries %v", id, union, acc.MBR)
+		}
+		if node.Level == 0 {
+			objects += len(node.Entries)
+			return nil
+		}
+		for _, e := range node.Entries {
+			child, err := t.read(e.Child)
+			if err != nil {
+				return err
+			}
+			if !e.MBR.Equal(child.MBR) {
+				return fmt.Errorf("rtree: entry MBR %v for child %d != child MBR %v",
+					e.MBR, e.Child, child.MBR)
+			}
+			if err := check(e.Child, false, node.Level-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(t.root, true, t.height-1); err != nil {
+		return err
+	}
+	if objects != t.numObjects {
+		return fmt.Errorf("rtree: %d reachable objects, NumObjects() = %d", objects, t.numObjects)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func BenchmarkEncodePage(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := makePage(1, page.TypeData, 0, 42, rng)
+	buf := make([]byte, PageSize)
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := EncodePage(p, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePage(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := makePage(1, page.TypeData, 0, 42, rng)
+	buf := make([]byte, PageSize)
+	if err := EncodePage(p, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePage(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemStoreRead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewMemStore()
+	const n = 1024
+	for i := 0; i < n; i++ {
+		id := s.Allocate()
+		if err := s.Write(makePage(id, page.TypeData, 0, 8, rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(page.ID(i%n + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

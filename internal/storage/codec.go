@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/page"
+)
+
+// Binary page layout (little-endian), used by FileStore. Every page
+// occupies exactly PageSize bytes on disk:
+//
+//	offset  size  field
+//	0       8     page ID
+//	8       1     page type
+//	9       1     (padding)
+//	10      2     level
+//	12      4     number of entries n
+//	16      48·n  entries: MinX MinY MaxX MaxY (float64 each), Child (8), ObjID (8)
+//
+// Derived Meta fields (MBR, entry sums) are recomputed on decode rather
+// than stored: they are cheap (the paper notes area/margin cost "no
+// noticeable overhead") and recomputing keeps the format minimal.
+const (
+	// PageSize is the on-disk size of one page in bytes. 4 KiB holds the
+	// paper's maximum fan-out (51 directory entries = 16+51·48 = 2464 B)
+	// with room to spare.
+	PageSize = 4096
+
+	headerSize = 16
+	entrySize  = 48
+
+	// MaxEntries is the largest entry count a PageSize page can hold.
+	MaxEntries = (PageSize - headerSize) / entrySize
+)
+
+// EncodePage serializes p into buf, which must be at least PageSize bytes.
+func EncodePage(p *page.Page, buf []byte) error {
+	if len(buf) < PageSize {
+		return fmt.Errorf("storage: encode buffer too small: %d < %d", len(buf), PageSize)
+	}
+	if len(p.Entries) > MaxEntries {
+		return fmt.Errorf("storage: page %d has %d entries, max %d", p.ID, len(p.Entries), MaxEntries)
+	}
+	for i := range buf[:PageSize] {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(buf[0:], uint64(p.ID))
+	buf[8] = byte(p.Type)
+	binary.LittleEndian.PutUint16(buf[10:], uint16(p.Level))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(p.Entries)))
+	off := headerSize
+	for _, e := range p.Entries {
+		binary.LittleEndian.PutUint64(buf[off+0:], math.Float64bits(e.MBR.MinX))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(e.MBR.MinY))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(e.MBR.MaxX))
+		binary.LittleEndian.PutUint64(buf[off+24:], math.Float64bits(e.MBR.MaxY))
+		binary.LittleEndian.PutUint64(buf[off+32:], uint64(e.Child))
+		binary.LittleEndian.PutUint64(buf[off+40:], e.ObjID)
+		off += entrySize
+	}
+	return nil
+}
+
+// DecodePage deserializes a page from buf (at least PageSize bytes) and
+// recomputes its derived Meta fields.
+func DecodePage(buf []byte) (*page.Page, error) {
+	if len(buf) < PageSize {
+		return nil, fmt.Errorf("storage: decode buffer too small: %d < %d", len(buf), PageSize)
+	}
+	id := page.ID(binary.LittleEndian.Uint64(buf[0:]))
+	typ := page.Type(buf[8])
+	level := int(binary.LittleEndian.Uint16(buf[10:]))
+	n := int(binary.LittleEndian.Uint32(buf[12:]))
+	if n < 0 || n > MaxEntries {
+		return nil, fmt.Errorf("storage: corrupt page %d: %d entries", id, n)
+	}
+	p := page.New(id, typ, level, n)
+	off := headerSize
+	for i := 0; i < n; i++ {
+		e := page.Entry{
+			MBR: geom.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+0:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[off+24:])),
+			},
+			Child: page.ID(binary.LittleEndian.Uint64(buf[off+32:])),
+			ObjID: binary.LittleEndian.Uint64(buf[off+40:]),
+		}
+		p.Append(e)
+		off += entrySize
+	}
+	p.Recompute()
+	return p, nil
+}

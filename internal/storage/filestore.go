@@ -1,0 +1,136 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// FileStore is a Store persisting pages in a single file of fixed-size
+// slots: page ID n lives at byte offset (n−1)·PageSize. It exists for
+// realism (binary serialization, durable databases, sequential-vs-random
+// accounting against real offsets); the experiment harness uses MemStore.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	next     page.ID
+	stats    Stats
+	lastRead page.ID
+	hasLast  bool
+	buf      [PageSize]byte
+}
+
+// CreateFileStore creates (or truncates) the file at path and returns an
+// empty store backed by it.
+func CreateFileStore(path string) (*FileStore, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create file store: %w", err)
+	}
+	return &FileStore{f: f, next: 1}, nil
+}
+
+// OpenFileStore opens an existing page file created by CreateFileStore.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open file store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat file store: %w", err)
+	}
+	if fi.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: size %d not a multiple of page size", path, fi.Size())
+	}
+	return &FileStore{f: f, next: page.ID(fi.Size()/PageSize) + 1}, nil
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() page.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	return id
+}
+
+// Write implements Store.
+func (s *FileStore) Write(p *page.Page) error {
+	if p == nil || p.ID == page.InvalidID {
+		return fmt.Errorf("storage: write of invalid page")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.ID >= s.next {
+		return fmt.Errorf("storage: write of unallocated page %d", p.ID)
+	}
+	if err := EncodePage(p, s.buf[:]); err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(s.buf[:], int64(p.ID-1)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", p.ID, err)
+	}
+	s.stats.Writes++
+	return nil
+}
+
+// Read implements Store.
+func (s *FileStore) Read(id page.ID) (*page.Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == page.InvalidID || id >= s.next {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, ErrPageNotFound)
+	}
+	if _, err := s.f.ReadAt(s.buf[:], int64(id-1)*PageSize); err != nil {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	p, err := DecodePage(s.buf[:])
+	if err != nil {
+		return nil, err
+	}
+	if p.ID != id {
+		return nil, fmt.Errorf("storage: page %d slot holds page %d (never written?)", id, p.ID)
+	}
+	s.stats.Reads++
+	if s.hasLast && id == s.lastRead+1 {
+		s.stats.Sequential++
+	}
+	s.lastRead = id
+	s.hasLast = true
+	return p, nil
+}
+
+// NumPages implements Store.
+func (s *FileStore) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.next - 1)
+}
+
+// Stats implements Store.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats implements Store.
+func (s *FileStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+	s.lastRead = 0
+	s.hasLast = false
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,294 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/page"
+)
+
+// makePage builds a recomputed test page with n entries.
+func makePage(id page.ID, typ page.Type, level, n int, rng *rand.Rand) *page.Page {
+	p := page.New(id, typ, level, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		y := rng.Float64() * 1000
+		p.Append(page.Entry{
+			MBR:   geom.NewRect(x, y, x+rng.Float64()*10, y+rng.Float64()*10),
+			Child: page.ID(rng.Uint64()%1000 + 1),
+			ObjID: rng.Uint64(),
+		})
+	}
+	p.Recompute()
+	return p
+}
+
+// storeUnderTest runs the shared Store contract tests.
+func storeUnderTest(t *testing.T, s Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+
+	// Allocate IDs are dense from 1.
+	id1 := s.Allocate()
+	id2 := s.Allocate()
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("Allocate = %d, %d; want 1, 2", id1, id2)
+	}
+
+	p1 := makePage(id1, page.TypeDirectory, 2, 5, rng)
+	p2 := makePage(id2, page.TypeData, 0, 40, rng)
+	if err := s.Write(p1); err != nil {
+		t.Fatalf("Write p1: %v", err)
+	}
+	if err := s.Write(p2); err != nil {
+		t.Fatalf("Write p2: %v", err)
+	}
+	if n := s.NumPages(); n != 2 {
+		t.Errorf("NumPages = %d, want 2", n)
+	}
+
+	got, err := s.Read(id2)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.ID != id2 || got.Type != page.TypeData || got.Level != 0 {
+		t.Errorf("read meta = %+v", got.Meta)
+	}
+	if len(got.Entries) != 40 {
+		t.Fatalf("read %d entries, want 40", len(got.Entries))
+	}
+	for i, e := range got.Entries {
+		if e != p2.Entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, e, p2.Entries[i])
+		}
+	}
+	if got.MBR != p2.MBR || got.EntryAreaSum != p2.EntryAreaSum ||
+		got.EntryMarginSum != p2.EntryMarginSum || got.EntryOverlap != p2.EntryOverlap {
+		t.Errorf("derived meta mismatch: %+v vs %+v", got.Meta, p2.Meta)
+	}
+
+	// Stats: 1 read so far.
+	if st := s.Stats(); st.Reads != 1 {
+		t.Errorf("Reads = %d, want 1", st.Reads)
+	}
+	// Sequential read accounting: reading 1 then 2 is one sequential read.
+	s.ResetStats()
+	if _, err := s.Read(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(id2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Reads != 2 || st.Sequential != 1 || st.Random() != 1 {
+		t.Errorf("stats = %+v (random %d), want 2 reads, 1 sequential", st, st.Random())
+	}
+
+	// Reading an unknown page fails with ErrPageNotFound.
+	if _, err := s.Read(9999); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("read unknown page: err = %v, want ErrPageNotFound", err)
+	}
+	// Writing an unallocated page fails.
+	if err := s.Write(makePage(500, page.TypeData, 0, 1, rng)); err == nil {
+		t.Error("write of unallocated page should fail")
+	}
+	// Writing nil / invalid fails.
+	if err := s.Write(nil); err == nil {
+		t.Error("write of nil page should fail")
+	}
+
+	// Overwrite is allowed and returns the latest version.
+	p1b := makePage(id1, page.TypeDirectory, 3, 7, rng)
+	if err := s.Write(p1b); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, err = s.Read(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != 3 || len(got.Entries) != 7 {
+		t.Errorf("overwritten page: level %d entries %d", got.Level, len(got.Entries))
+	}
+
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	storeUnderTest(t, NewMemStore())
+}
+
+func TestFileStoreContract(t *testing.T) {
+	fs, err := CreateFileStore(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeUnderTest(t, fs)
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fs, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var want []*page.Page
+	for i := 0; i < 10; i++ {
+		id := fs.Allocate()
+		p := makePage(id, page.TypeData, 0, rng.Intn(MaxEntries), rng)
+		if err := fs.Write(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 10 {
+		t.Fatalf("reopened NumPages = %d, want 10", re.NumPages())
+	}
+	for _, w := range want {
+		got, err := re.Read(w.ID)
+		if err != nil {
+			t.Fatalf("read %d: %v", w.ID, err)
+		}
+		if got.Meta != w.Meta {
+			t.Errorf("page %d meta mismatch", w.ID)
+		}
+	}
+	// New allocations continue after the persisted pages.
+	if id := re.Allocate(); id != 11 {
+		t.Errorf("post-reopen Allocate = %d, want 11", id)
+	}
+}
+
+func TestOpenFileStoreErrors(t *testing.T) {
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "missing.db")); err == nil {
+		t.Error("opening missing file should fail")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	buf := make([]byte, PageSize)
+	for trial := 0; trial < 100; trial++ {
+		p := makePage(page.ID(trial+1), page.Type(trial%3), trial%5, rng.Intn(MaxEntries+1), rng)
+		if err := EncodePage(p, buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodePage(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Meta != p.Meta {
+			t.Fatalf("meta mismatch:\n got %+v\nwant %+v", got.Meta, p.Meta)
+		}
+		for i := range p.Entries {
+			if got.Entries[i] != p.Entries[i] {
+				t.Fatalf("entry %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	small := make([]byte, 10)
+	if err := EncodePage(makePage(1, page.TypeData, 0, 1, rng), small); err == nil {
+		t.Error("encode into small buffer should fail")
+	}
+	if _, err := DecodePage(small); err == nil {
+		t.Error("decode of small buffer should fail")
+	}
+	// Too many entries.
+	p := page.New(1, page.TypeData, 0, MaxEntries+1)
+	for i := 0; i <= MaxEntries; i++ {
+		p.Append(page.Entry{MBR: geom.NewRect(0, 0, 1, 1)})
+	}
+	p.Recompute()
+	buf := make([]byte, PageSize)
+	if err := EncodePage(p, buf); err == nil {
+		t.Error("encode of oversized page should fail")
+	}
+	// Corrupt entry count.
+	ok := makePage(1, page.TypeData, 0, 3, rng)
+	if err := EncodePage(ok, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[12] = 0xFF
+	buf[13] = 0xFF
+	buf[14] = 0xFF
+	buf[15] = 0x7F
+	if _, err := DecodePage(buf); err == nil {
+		t.Error("decode of corrupt entry count should fail")
+	}
+}
+
+func TestMaxEntriesFitsPaperFanout(t *testing.T) {
+	// The paper's R*-tree uses up to 51 directory entries per page; the
+	// on-disk format must hold that.
+	if MaxEntries < 51 {
+		t.Fatalf("MaxEntries = %d, need at least 51", MaxEntries)
+	}
+}
+
+func TestMemStoreResetStats(t *testing.T) {
+	s := NewMemStore()
+	id := s.Allocate()
+	rng := rand.New(rand.NewSource(1))
+	if err := s.Write(makePage(id, page.TypeData, 0, 1, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestMemStoreConcurrentAccess(t *testing.T) {
+	s := NewMemStore()
+	rng := rand.New(rand.NewSource(23))
+	const n = 64
+	ids := make([]page.ID, n)
+	for i := range ids {
+		ids[i] = s.Allocate()
+		if err := s.Write(makePage(ids[i], page.TypeData, 0, 4, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				if _, err := s.Read(ids[r.Intn(n)]); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Reads != 8*500 {
+		t.Errorf("Reads = %d, want %d", st.Reads, 8*500)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Save writes the trace to a file (gob encoding). Saved traces let the
+// tooling record a reference string once and replay it in later processes
+// (tracedump -out / -in).
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(t); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: save %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace previously written by Save.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	defer f.Close()
+	var t Trace
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: load %s: %w", path, err)
+	}
+	return &t, nil
+}

@@ -1,0 +1,103 @@
+// Package trace records and replays page-reference strings.
+//
+// The sequence of tree pages a query set touches does not depend on the
+// buffer policy (queries are read-only and traverse the same index), so
+// the experiment harness records the reference string once per
+// (database, query set) pair and replays it through every policy × buffer
+// size. Replay produces exactly the disk-access counts of live execution —
+// an equivalence the integration tests assert — at a fraction of the cost.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/queryset"
+	"repro/internal/rtree"
+	"repro/internal/storage"
+)
+
+// Ref is one page reference: which page was requested on behalf of which
+// query.
+type Ref struct {
+	Query uint64
+	Page  page.ID
+}
+
+// Trace is the reference string of a query set against a tree.
+type Trace struct {
+	Name string
+	Refs []Ref
+}
+
+// Len returns the number of page references.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// recorder is an rtree.Reader that appends every access to a trace.
+type recorder struct {
+	inner rtree.Reader
+	refs  []Ref
+}
+
+// Get implements rtree.Reader.
+func (r *recorder) Get(id page.ID, ctx buffer.AccessContext) (*page.Page, error) {
+	r.refs = append(r.refs, Ref{Query: ctx.QueryID, Page: id})
+	return r.inner.Get(id, ctx)
+}
+
+// Record runs the query set against the tree (windows via Search, points
+// via the same path) and returns the reference string.
+func Record(t *rtree.Tree, qs queryset.Set) (*Trace, error) {
+	rec := &recorder{inner: rtree.StoreReader{Store: t.Store()}}
+	for _, q := range qs.Queries {
+		ctx := buffer.AccessContext{QueryID: q.ID}
+		err := t.Search(rec, ctx, q.Rect, func(page.Entry) bool { return true })
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %s query %d: %w", qs.Name, q.ID, err)
+		}
+	}
+	return &Trace{Name: qs.Name, Refs: rec.refs}, nil
+}
+
+// Replay pushes the reference string through a fresh buffer of the given
+// capacity and policy, returning the buffer statistics (DiskReads is the
+// paper's cost metric).
+func Replay(tr *Trace, store storage.Store, pol buffer.Policy, capacity int) (buffer.Stats, error) {
+	m, err := buffer.NewManager(store, pol, capacity)
+	if err != nil {
+		return buffer.Stats{}, err
+	}
+	return ReplayOn(tr, m)
+}
+
+// ReplayOn replays the trace on an existing manager (which is cleared
+// first, as the paper clears the buffer before each query set).
+func ReplayOn(tr *Trace, m *buffer.Manager) (buffer.Stats, error) {
+	if err := m.Clear(); err != nil {
+		return buffer.Stats{}, err
+	}
+	for _, ref := range tr.Refs {
+		if _, err := m.Get(ref.Page, buffer.AccessContext{QueryID: ref.Query}); err != nil {
+			return buffer.Stats{}, fmt.Errorf("trace: replay %s: page %d: %w", tr.Name, ref.Page, err)
+		}
+	}
+	return m.Stats(), nil
+}
+
+// RunLive executes the query set against the tree reading through the
+// given buffer manager — the non-trace path, used to validate replay
+// equivalence and by the example programs.
+func RunLive(t *rtree.Tree, qs queryset.Set, m *buffer.Manager) (buffer.Stats, error) {
+	if err := m.Clear(); err != nil {
+		return buffer.Stats{}, err
+	}
+	for _, q := range qs.Queries {
+		ctx := buffer.AccessContext{QueryID: q.ID}
+		err := t.Search(m, ctx, q.Rect, func(page.Entry) bool { return true })
+		if err != nil {
+			return buffer.Stats{}, fmt.Errorf("trace: live %s query %d: %w", qs.Name, q.ID, err)
+		}
+	}
+	return m.Stats(), nil
+}
