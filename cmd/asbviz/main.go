@@ -5,16 +5,21 @@
 //
 //	asbviz -db 1 -frac 0.047
 //	asbviz -csv trajectory.csv
+//
+// Instead of recomputing, -in renders a previously captured trajectory
+// (written by asbviz -csv or spatialbench -ctraj):
+//
+//	asbviz -in trajectory.csv
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,12 +29,19 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		frac    = flag.Float64("frac", experiment.LargestFrac, "buffer size as a fraction of the page count")
 		csvPath = flag.String("csv", "", "write the (refIndex, candidateSize) series as CSV")
+		inPath  = flag.String("in", "", "render a previously captured trajectory CSV instead of recomputing")
 		width   = flag.Int("width", 100, "plot width in columns")
 		height  = flag.Int("height", 20, "plot height in rows")
 	)
 	flag.Parse()
 
-	if err := run(*dbNum, *objects, *seed, *frac, *csvPath, *width, *height); err != nil {
+	var err error
+	if *inPath != "" {
+		err = runFromFile(*inPath, *width, *height)
+	} else {
+		err = run(*dbNum, *objects, *seed, *frac, *csvPath, *width, *height)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "asbviz:", err)
 		os.Exit(1)
 	}
@@ -55,19 +67,15 @@ func run(dbNum, objects int, seed int64, frac float64, csvPath string, width, he
 	}
 	fmt.Printf("%d adaptation events over %d references\n\n", len(at.Sizes), at.PhaseEnds[2])
 
-	plot(at, width, height, phases)
+	plot(at.RefAt, at.Sizes, at.PhaseEnds[2], at.MainCap, at.Initial, at.PhaseEnds[:2], width, height)
+	legend(width, phases)
 
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
 			return err
 		}
-		w := bufio.NewWriter(f)
-		fmt.Fprintln(w, "ref,candidate")
-		for i := range at.Sizes {
-			fmt.Fprintf(w, "%d,%d\n", at.RefAt[i], at.Sizes[i])
-		}
-		if err := w.Flush(); err != nil {
+		if err := obs.WriteTrajectoryCSV(f, at.RefAt, at.Sizes); err != nil {
 			f.Close()
 			return err
 		}
@@ -79,14 +87,60 @@ func run(dbNum, objects int, seed int64, frac float64, csvPath string, width, he
 	return nil
 }
 
-// plot renders the candidate-size trajectory as ASCII art with phase
-// boundaries marked.
-func plot(at *experiment.AdaptationTrace, width, height int, phases []string) {
-	if len(at.Sizes) == 0 {
+// runFromFile renders a captured trajectory. The CSV carries no phase
+// boundaries or buffer geometry, so bounds are inferred from the data:
+// the y-axis spans up to the largest candidate size seen and the x-axis
+// ends at the last sample.
+func runFromFile(path string, width, height int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	refs, cands, err := obs.ReadTrajectoryCSV(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(refs) == 0 {
+		fmt.Println("(no adaptation events)")
+		return nil
+	}
+	maxCand, total := cands[0], refs[len(refs)-1]+1
+	for _, c := range cands {
+		if c > maxCand {
+			maxCand = c
+		}
+	}
+	fmt.Printf("%s: %d adaptation events over %d references, candidate size %d..%d\n\n",
+		path, len(refs), total, minInt(cands), maxCand)
+	plot(refs, cands, total, maxCand, cands[0], nil, width, height)
+	return nil
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// plot renders a candidate-size trajectory as ASCII art: step-wise,
+// carrying the last size forward, with optional phase boundaries marked
+// as vertical bars.
+func plot(refAt, sizes []int, total, maxSize, initial int, bounds []int, width, height int) {
+	if len(sizes) == 0 {
 		fmt.Println("(no adaptation events)")
 		return
 	}
-	total := at.PhaseEnds[2]
+	if total < 1 {
+		total = 1
+	}
+	if maxSize < 1 {
+		maxSize = 1
+	}
 	grid := make([][]byte, height)
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", width))
@@ -99,7 +153,7 @@ func plot(at *experiment.AdaptationTrace, width, height int, phases []string) {
 		return c
 	}
 	row := func(size int) int {
-		r := height - 1 - (size-1)*(height-1)/at.MainCap
+		r := height - 1 - (size-1)*(height-1)/maxSize
 		if r < 0 {
 			r = 0
 		}
@@ -108,18 +162,16 @@ func plot(at *experiment.AdaptationTrace, width, height int, phases []string) {
 		}
 		return r
 	}
-	// Draw the trajectory (step-wise, carrying the last size forward).
-	last := at.Initial
+	last := initial
 	idx := 0
 	for ref := 0; ref < total; ref++ {
-		for idx < len(at.RefAt) && at.RefAt[idx] <= ref {
-			last = at.Sizes[idx]
+		for idx < len(refAt) && refAt[idx] <= ref {
+			last = sizes[idx]
 			idx++
 		}
 		grid[row(last)][col(ref)] = '*'
 	}
-	// Phase boundaries.
-	for _, end := range at.PhaseEnds[:2] {
+	for _, end := range bounds {
 		c := col(end)
 		for r := 0; r < height; r++ {
 			if grid[r][c] == ' ' {
@@ -127,7 +179,7 @@ func plot(at *experiment.AdaptationTrace, width, height int, phases []string) {
 			}
 		}
 	}
-	fmt.Printf("%4d +%s\n", at.MainCap, strings.Repeat("-", width))
+	fmt.Printf("%4d +%s\n", maxSize, strings.Repeat("-", width))
 	for r, line := range grid {
 		label := "     "
 		if r == height-1 {
@@ -136,5 +188,9 @@ func plot(at *experiment.AdaptationTrace, width, height int, phases []string) {
 		fmt.Printf("%s|%s\n", label, string(line))
 	}
 	fmt.Printf("     +%s\n", strings.Repeat("-", width))
+}
+
+// legend prints the phase names under the plot.
+func legend(width int, phases []string) {
 	fmt.Printf("      %-*s%-*s%s\n", width/3, phases[0], width/3, phases[1], phases[2])
 }

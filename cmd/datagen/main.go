@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,10 +26,21 @@ func main() {
 		out     = flag.String("out", "data", "output directory")
 		sets    = flag.String("sets", "U-P,U-W-33,ID-W,S-P,INT-P,IND-P", "query sets to emit")
 		queries = flag.Int("queries", 1000, "queries per emitted set")
+		prof    obs.ProfileFlags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*dbNum, *objects, *seed, *out, *sets, *queries); err != nil {
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	err = run(*dbNum, *objects, *seed, *out, *sets, *queries)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}

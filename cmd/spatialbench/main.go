@@ -19,6 +19,13 @@
 // -paperscale uses the paper's sizes (1,641,079 / 572,694 — minutes of
 // build time). -csv writes each table additionally as CSV into a
 // directory.
+//
+// Observability: -events FILE re-replays an ad-hoc sweep sequentially
+// with a JSONL event sink attached (one "mark" line per combination);
+// -window N prints windowed hit ratios per combination; -ctraj FILE runs
+// the Fig. 14 adaptation workload and writes the ASB candidate-size
+// trajectory as CSV (render it with asbviz -in FILE). The standard
+// -cpuprofile, -memprofile and -trace flags profile the whole run.
 package main
 
 import (
@@ -31,41 +38,69 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
+// config collects the command-line options.
+type config struct {
+	figure     string
+	dbNum      int
+	sets       string
+	policies   string
+	fracs      string
+	objects    int
+	paperScale bool
+	seed       int64
+	csvDir     string
+	events     string
+	window     int
+	ctraj      string
+}
+
 func main() {
-	var (
-		figure     = flag.String("figure", "", "figure to reproduce: 4..9, 12..14, lrut, the extensions crosssam/updates, or 'all'")
-		dbNum      = flag.Int("db", 1, "database number for ad-hoc sweeps (1 or 2)")
-		sets       = flag.String("sets", "", "comma-separated query sets for an ad-hoc sweep (e.g. U-P,INT-W-33)")
-		policies   = flag.String("policies", "LRU,A,LRU-2,ASB", "comma-separated policies for an ad-hoc sweep")
-		fracs      = flag.String("fracs", "0.006,0.047", "comma-separated buffer fractions for an ad-hoc sweep")
-		objects    = flag.Int("objects", 0, "objects per database (0 = default scale)")
-		paperScale = flag.Bool("paperscale", false, "use the paper's database sizes (slow)")
-		seed       = flag.Int64("seed", 1, "generation seed")
-		csvDir     = flag.String("csv", "", "directory to additionally write tables as CSV")
-	)
+	var cfg config
+	var prof obs.ProfileFlags
+	flag.StringVar(&cfg.figure, "figure", "", "figure to reproduce: 4..9, 12..14, lrut, the extensions crosssam/updates, or 'all'")
+	flag.IntVar(&cfg.dbNum, "db", 1, "database number for ad-hoc sweeps (1 or 2)")
+	flag.StringVar(&cfg.sets, "sets", "", "comma-separated query sets for an ad-hoc sweep (e.g. U-P,INT-W-33)")
+	flag.StringVar(&cfg.policies, "policies", "LRU,A,LRU-2,ASB", "comma-separated policies for an ad-hoc sweep")
+	flag.StringVar(&cfg.fracs, "fracs", "0.006,0.047", "comma-separated buffer fractions for an ad-hoc sweep")
+	flag.IntVar(&cfg.objects, "objects", 0, "objects per database (0 = default scale)")
+	flag.BoolVar(&cfg.paperScale, "paperscale", false, "use the paper's database sizes (slow)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generation seed")
+	flag.StringVar(&cfg.csvDir, "csv", "", "directory to additionally write tables as CSV")
+	flag.StringVar(&cfg.events, "events", "", "with -sets: write the sweep's event stream as JSONL to this file")
+	flag.IntVar(&cfg.window, "window", 0, "with -sets: print hit ratios over windows of N requests")
+	flag.StringVar(&cfg.ctraj, "ctraj", "", "run the Fig. 14 adaptation workload and write the c-trajectory CSV to this file")
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *figure == "" && *sets == "" {
+	if cfg.figure == "" && cfg.sets == "" && cfg.ctraj == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*figure, *dbNum, *sets, *policies, *fracs, *objects, *paperScale, *seed, *csvDir); err != nil {
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatialbench:", err)
+		os.Exit(1)
+	}
+	err = run(cfg)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "spatialbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, dbNum int, sets, policies, fracs string, objects int, paperScale bool, seed int64, csvDir string) error {
-	opts := experiment.Options{Objects: objects, Seed: seed}
-	if paperScale {
-		opts.Objects = -1 // marker: resolved per database below
-	}
+func run(cfg config) error {
+	opts := experiment.Options{Objects: cfg.objects, Seed: cfg.seed}
 
 	optsFor := func(n int) experiment.Options {
 		o := opts
-		if paperScale {
+		if cfg.paperScale {
 			o.Objects = experiment.PaperObjects[n]
 		}
 		return o
@@ -74,11 +109,11 @@ func run(figure string, dbNum int, sets, policies, fracs string, objects int, pa
 	emit := func(tables []*experiment.Table) error {
 		for _, t := range tables {
 			fmt.Println(t.Render())
-			if csvDir != "" {
-				if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			if cfg.csvDir != "" {
+				if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 					return err
 				}
-				path := filepath.Join(csvDir, t.ID+".csv")
+				path := filepath.Join(cfg.csvDir, t.ID+".csv")
 				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 					return err
 				}
@@ -87,48 +122,81 @@ func run(figure string, dbNum int, sets, policies, fracs string, objects int, pa
 		return nil
 	}
 
-	if sets != "" && figure == "" {
-		return adHoc(dbNum, sets, policies, fracs, optsFor(dbNum), seed, emit)
+	if cfg.sets != "" {
+		if err := adHoc(cfg, optsFor(cfg.dbNum), emit); err != nil {
+			return err
+		}
 	}
 
-	figs := experiment.Figures()
-	var ids []string
-	if figure == "all" {
-		ids = experiment.FigureIDs()
-	} else {
-		if figs[figure] == nil {
-			return fmt.Errorf("unknown figure %q (have %v)", figure, experiment.FigureIDs())
+	if cfg.figure != "" {
+		figs := experiment.Figures()
+		var ids []string
+		if cfg.figure == "all" {
+			ids = experiment.FigureIDs()
+		} else {
+			if figs[cfg.figure] == nil {
+				return fmt.Errorf("unknown figure %q (have %v)", cfg.figure, experiment.FigureIDs())
+			}
+			ids = []string{cfg.figure}
 		}
-		ids = []string{figure}
+		for _, id := range ids {
+			fmt.Printf("=== Figure %s ===\n", id)
+			if cfg.paperScale {
+				// Figures build both databases; per-figure paper-scale runs
+				// should use ad-hoc mode per database instead.
+				return fmt.Errorf("-paperscale is only supported for ad-hoc sweeps (-sets); use -objects to scale figures")
+			}
+			tables, err := figs[id](opts, cfg.seed)
+			if err != nil {
+				return fmt.Errorf("figure %s: %w", id, err)
+			}
+			if err := emit(tables); err != nil {
+				return err
+			}
+		}
 	}
-	for _, id := range ids {
-		fmt.Printf("=== Figure %s ===\n", id)
-		// Figures resolve databases themselves; pass per-DB options via
-		// the shared Options (paper scale handled by Objects<0 marker).
-		o := opts
-		if paperScale {
-			// Figures build both databases; use the marker convention:
-			// Objects<0 is not understood downstream, so resolve to DB1's
-			// size — per-figure paper-scale runs should use ad-hoc mode
-			// per database instead. Keep it simple: reproduce figures at
-			// a single explicit scale.
-			return fmt.Errorf("-paperscale is only supported for ad-hoc sweeps (-sets); use -objects to scale figures")
-		}
-		tables, err := figs[id](o, seed)
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", id, err)
-		}
-		if err := emit(tables); err != nil {
+
+	if cfg.ctraj != "" {
+		if err := writeCTrajectory(cfg.dbNum, optsFor(cfg.dbNum), cfg.seed, cfg.ctraj); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// adHoc runs a custom sweep and prints one gain table per buffer
-// fraction.
-func adHoc(dbNum int, setsCSV, policiesCSV, fracsCSV string, opts experiment.Options, seed int64, emit func([]*experiment.Table) error) error {
+// writeCTrajectory runs the Fig. 14 mixed workload (INT-W-33 + U-W-33 +
+// S-W-33 through an ASB buffer) and writes the candidate-size trajectory
+// captured from the event stream as "ref,candidate" CSV.
+func writeCTrajectory(dbNum int, opts experiment.Options, seed int64, path string) error {
 	db, err := experiment.Get(dbNum, opts)
+	if err != nil {
+		return err
+	}
+	at, err := experiment.RunAdaptation(db, experiment.LargestFrac, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrajectoryCSV(f, at.RefAt, at.Sizes); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote c-trajectory (%d samples over %d references) to %s\n",
+		len(at.Sizes), at.PhaseEnds[2], path)
+	return nil
+}
+
+// adHoc runs a custom sweep and prints one gain table per buffer
+// fraction. With -events or -window it additionally re-replays every
+// combination sequentially with observability sinks attached.
+func adHoc(cfg config, opts experiment.Options, emit func([]*experiment.Table) error) error {
+	db, err := experiment.Get(cfg.dbNum, opts)
 	if err != nil {
 		return err
 	}
@@ -136,10 +204,10 @@ func adHoc(dbNum int, setsCSV, policiesCSV, fracsCSV string, opts experiment.Opt
 		db.Name, db.Stats.NumObjects, db.Stats.TotalPages(),
 		db.Stats.DirFraction()*100, db.Stats.Height)
 
-	setNames := splitCSV(setsCSV)
-	polNames := splitCSV(policiesCSV)
+	setNames := splitCSV(cfg.sets)
+	polNames := splitCSV(cfg.policies)
 	var fracList []float64
-	for _, f := range splitCSV(fracsCSV) {
+	for _, f := range splitCSV(cfg.fracs) {
 		v, err := strconv.ParseFloat(f, 64)
 		if err != nil {
 			return fmt.Errorf("bad fraction %q: %w", f, err)
@@ -159,14 +227,14 @@ func adHoc(dbNum int, setsCSV, policiesCSV, fracsCSV string, opts experiment.Opt
 		}
 		factories = append(factories, f)
 	}
-	sw, err := experiment.Run(db, setNames, factories, fracList, seed)
+	sw, err := experiment.Run(db, setNames, factories, fracList, cfg.seed)
 	if err != nil {
 		return err
 	}
 	var tables []*experiment.Table
 	for _, frac := range fracList {
 		t := experiment.NewTable(
-			fmt.Sprintf("adhoc-db%d-%.1f%%", dbNum, frac*100),
+			fmt.Sprintf("adhoc-db%d-%.1f%%", cfg.dbNum, frac*100),
 			fmt.Sprintf("ad-hoc sweep, %s, buffer %.1f%%", db.Name, frac*100),
 			"gain vs LRU [%]", setNames, polNames)
 		for _, set := range setNames {
@@ -182,7 +250,76 @@ func adHoc(dbNum int, setsCSV, policiesCSV, fracsCSV string, opts experiment.Opt
 		}
 		tables = append(tables, t)
 	}
-	return emit(tables)
+	if err := emit(tables); err != nil {
+		return err
+	}
+	if cfg.events != "" || cfg.window > 0 {
+		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window)
+	}
+	return nil
+}
+
+// instrumentedReplays re-runs each (set, policy, fraction) combination of
+// an ad-hoc sweep sequentially with observability sinks attached: a JSONL
+// event stream separated by "mark" lines, and/or a windowed hit-ratio
+// report. Kept separate from the parallel sweep so the measured tables
+// stay unperturbed and the event file has a deterministic order.
+func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int) error {
+	var jsonl *obs.JSONLSink
+	if eventsPath != "" {
+		f, err := os.Create(eventsPath)
+		if err != nil {
+			return err
+		}
+		jsonl = obs.NewJSONLSinkCloser(f)
+		defer jsonl.Close()
+	}
+	for _, set := range setNames {
+		tr, err := db.Trace(set, seed)
+		if err != nil {
+			return err
+		}
+		for _, frac := range fracs {
+			frames := db.Frames(frac)
+			for _, polName := range polNames {
+				fac, err := core.FactoryByName(polName)
+				if err != nil {
+					return err
+				}
+				label := fmt.Sprintf("%s/%s/%.4f", set, polName, frac)
+				var sinks []obs.Sink
+				if jsonl != nil {
+					jsonl.Mark(label)
+					sinks = append(sinks, jsonl)
+				}
+				var wt *obs.WindowTracker
+				if window > 0 {
+					wt = obs.NewWindowTracker(window, 1<<16)
+					sinks = append(sinks, wt)
+				}
+				if _, err := trace.ReplayWithSink(tr, db.Store, fac.New(frames), frames, obs.Tee(sinks...)); err != nil {
+					return fmt.Errorf("instrumented replay %s: %w", label, err)
+				}
+				if wt != nil {
+					fmt.Printf("%-24s windowed hit ratio (n=%d):", label, wt.WindowSize())
+					for _, r := range wt.HitRatios() {
+						fmt.Printf(" %.3f", r)
+					}
+					if cur := wt.Current(); cur.Requests > 0 {
+						fmt.Printf(" [%.3f]", cur.HitRatio())
+					}
+					fmt.Println()
+				}
+			}
+		}
+	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", eventsPath, err)
+		}
+		fmt.Printf("wrote event stream to %s\n", eventsPath)
+	}
+	return nil
 }
 
 func splitCSV(s string) []string {

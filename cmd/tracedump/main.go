@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/trace"
 )
@@ -26,10 +27,21 @@ func main() {
 		queries = flag.Int("queries", 0, "query count (0 = calibrated)")
 		refs    = flag.Bool("refs", false, "dump the raw reference string")
 		out     = flag.String("out", "", "save the trace to a file (gob) for later replay")
+		prof    obs.ProfileFlags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*dbNum, *objects, *seed, *setName, *queries, *refs, *out); err != nil {
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(1)
+	}
+	err = run(*dbNum, *objects, *seed, *setName, *queries, *refs, *out)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}

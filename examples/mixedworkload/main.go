@@ -14,6 +14,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/queryset"
 	"repro/internal/trace"
@@ -42,14 +43,15 @@ func main() {
 	mixed := queryset.Concat("mixed", intW, uniW, simW)
 
 	frames := db.Frames(0.047)
-	var candHistory []int
-	opts := core.DefaultASBOptions()
-	opts.OnAdapt = func(c int) { candHistory = append(candHistory, c) }
-	pol := core.NewASB(frames, opts)
+	pol := core.NewASB(frames, core.DefaultASBOptions())
 	buf, err := buffer.NewManager(db.Store, pol, frames)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The candidate-set trajectory comes from the observability layer: a
+	// trajectory recorder samples the size at every Adapt event.
+	rec := obs.NewTrajectoryRecorder()
+	buf.SetSink(rec)
 
 	fmt.Printf("buffer %d frames: main part %d, overflow %d, initial candidate set %d\n\n",
 		frames, pol.MainCapacity(), pol.OverflowCapacity(), pol.CandidateSize())
@@ -74,7 +76,7 @@ func main() {
 	}
 
 	lo, hi := pol.MainCapacity(), 1
-	for _, c := range candHistory {
+	for _, c := range rec.Cand {
 		if c < lo {
 			lo = c
 		}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 )
@@ -132,6 +133,11 @@ type Manager struct {
 	frames map[page.ID]*Frame
 	clock  uint64
 	stats  Stats
+
+	// sink receives observability events; never nil (NopSink by
+	// default), so the hot path emits unconditionally and stays
+	// allocation-free when unobserved.
+	sink obs.Sink
 }
 
 // NewManager creates a buffer of the given capacity (in frames, ≥ 1) over
@@ -148,7 +154,23 @@ func NewManager(store storage.Store, policy Policy, capacity int) (*Manager, err
 		policy:   policy,
 		capacity: capacity,
 		frames:   make(map[page.ID]*Frame, capacity),
+		sink:     obs.NopSink{},
 	}, nil
+}
+
+// SetSink attaches an observability sink to the manager and, if the
+// policy implements obs.SinkSetter, to the policy as well — one call
+// instruments the whole stack. A nil sink detaches (back to NopSink).
+// The manager emits Request events; instrumented policies emit
+// Eviction, OverflowPromotion and Adapt events.
+func (m *Manager) SetSink(s obs.Sink) {
+	if s == nil {
+		s = obs.NopSink{}
+	}
+	m.sink = s
+	if ss, ok := m.policy.(obs.SinkSetter); ok {
+		ss.SetSink(s)
+	}
 }
 
 // Capacity returns the buffer capacity in frames.
@@ -222,12 +244,14 @@ func (m *Manager) request(id page.ID, ctx AccessContext) (*Frame, error) {
 
 	if f, ok := m.frames[id]; ok {
 		m.stats.Hits++
+		m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: true})
 		m.policy.OnHit(f, now, ctx)
 		f.LastUse = now
 		return f, nil
 	}
 
 	m.stats.Misses++
+	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false})
 	if len(m.frames) >= m.capacity {
 		if err := m.evictOne(ctx); err != nil {
 			return nil, err

@@ -51,7 +51,7 @@ func (p *testPolicy) OnEvict(f *Frame) {
 func (p *testPolicy) Reset() { p.order.Init() }
 
 // newStore creates a MemStore with n single-entry pages (IDs 1..n).
-func newStore(t *testing.T, n int) *storage.MemStore {
+func newStore(t testing.TB, n int) *storage.MemStore {
 	t.Helper()
 	s := storage.NewMemStore()
 	for i := 0; i < n; i++ {
@@ -245,6 +245,13 @@ func TestDirtyWriteBackOnEviction(t *testing.T) {
 	if got := s.Stats().Writes - w0; got != 1 {
 		t.Errorf("write-backs = %d, want 1", got)
 	}
+	st := m.Stats()
+	if st.WriteBacks != 1 {
+		t.Errorf("Stats.WriteBacks = %d, want 1", st.WriteBacks)
+	}
+	if st.DiskIO() != st.DiskReads()+1 {
+		t.Errorf("DiskIO = %d, want DiskReads+1 = %d", st.DiskIO(), st.DiskReads()+1)
+	}
 }
 
 func TestFlush(t *testing.T) {
@@ -332,6 +339,38 @@ func TestHitRatio(t *testing.T) {
 	st = Stats{Requests: 10, Hits: 4, Misses: 6}
 	if got := st.HitRatio(); got != 0.4 {
 		t.Errorf("HitRatio = %g, want 0.4", got)
+	}
+	// All hits and all misses are exact, not approximate.
+	if got := (Stats{Requests: 7, Hits: 7}).HitRatio(); got != 1 {
+		t.Errorf("all-hits ratio = %g, want 1", got)
+	}
+	if got := (Stats{Requests: 7, Misses: 7}).HitRatio(); got != 0 {
+		t.Errorf("all-misses ratio = %g, want 0", got)
+	}
+}
+
+func TestStatsDiskCounters(t *testing.T) {
+	var st Stats
+	if st.DiskReads() != 0 || st.DiskIO() != 0 {
+		t.Errorf("zero stats: DiskReads=%d DiskIO=%d", st.DiskReads(), st.DiskIO())
+	}
+	// Read-only workload: IO equals reads equals misses.
+	st = Stats{Requests: 10, Hits: 4, Misses: 6}
+	if st.DiskReads() != 6 || st.DiskIO() != 6 {
+		t.Errorf("read-only: DiskReads=%d DiskIO=%d, want 6/6", st.DiskReads(), st.DiskIO())
+	}
+	// Update workload: write-backs count toward IO but not reads.
+	st = Stats{Requests: 10, Hits: 4, Misses: 6, WriteBacks: 3}
+	if st.DiskReads() != 6 {
+		t.Errorf("DiskReads = %d, want 6 (write-backs are not reads)", st.DiskReads())
+	}
+	if st.DiskIO() != 9 {
+		t.Errorf("DiskIO = %d, want 9 (misses + write-backs)", st.DiskIO())
+	}
+	// Pure write-back (e.g. only Flush activity): IO without reads.
+	st = Stats{WriteBacks: 2}
+	if st.DiskReads() != 0 || st.DiskIO() != 2 {
+		t.Errorf("flush-only: DiskReads=%d DiskIO=%d, want 0/2", st.DiskReads(), st.DiskIO())
 	}
 }
 

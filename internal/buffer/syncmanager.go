@@ -3,6 +3,7 @@ package buffer
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -80,4 +81,14 @@ func (s *SyncManager) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.m.Len()
+}
+
+// SetSink attaches an observability sink (see Manager.SetSink). Events
+// are emitted under the wrapper's mutex, so any sink works here — but a
+// concurrency-safe aggregator like obs.Counters keeps critical sections
+// short.
+func (s *SyncManager) SetSink(sink obs.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.SetSink(sink)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -23,9 +24,11 @@ type ASBOptions struct {
 	InitialCandFrac float64
 	// StepFrac is the adaptation step as a fraction of the main part.
 	StepFrac float64
-	// OnAdapt, if non-nil, is invoked after every adaptation with the new
-	// candidate-set size (used to plot Fig. 14).
-	OnAdapt func(candSize int)
+	// FreezeCand pins the candidate-set size to its initial value: the
+	// §4.2 signal is still computed and emitted as OverflowPromotion
+	// events, but never acted on. Diagnostic — used by ASBProbe to
+	// inspect the signal distribution under a controlled candidate size.
+	FreezeCand bool
 }
 
 // DefaultASBOptions returns the paper's parameter settings.
@@ -57,13 +60,21 @@ func DefaultASBOptions() ASBOptions {
 //
 // Both parts together never exceed the buffer capacity, so — unlike
 // LRU-K — ASB needs no state for pages that have left the buffer.
+//
+// ASB emits observability events when a sink is attached (via
+// buffer.Manager.SetSink or directly through SetSink): an
+// OverflowPromotion per overflow hit carrying the §4.2 signal, an Adapt
+// per adaptation event (the Fig. 14 series), and an Eviction per page
+// leaving the buffer.
 type ASB struct {
+	obs.Target
+
 	crit     page.Criterion
 	mainCap  int
 	overCap  int
 	initCand int
 	step     int
-	onAdapt  func(int)
+	freeze   bool
 
 	cand int // current candidate-set size, in [1, mainCap]
 
@@ -71,6 +82,10 @@ type ASB struct {
 	main *list.List
 	// over holds *buffer.Frame, front = oldest (next FIFO victim).
 	over *list.List
+
+	// lastRank is the LRU rank of the frame most recently returned by
+	// Victim, consumed by the Eviction event in OnEvict; -1 when unknown.
+	lastRank int
 
 	adaptations uint64
 }
@@ -113,9 +128,10 @@ func NewASB(capacity int, opts ASBOptions) *ASB {
 		overCap:  overCap,
 		initCand: clamp(int(opts.InitialCandFrac*float64(mainCap)+0.5), 1, mainCap),
 		step:     clamp(int(opts.StepFrac*float64(mainCap)+0.5), 1, mainCap),
-		onAdapt:  opts.OnAdapt,
+		freeze:   opts.FreezeCand,
 		main:     list.New(),
 		over:     list.New(),
+		lastRank: -1,
 	}
 	a.cand = a.initCand
 	return a
@@ -180,7 +196,9 @@ func (p *ASB) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 // adapt applies the self-tuning rule on an overflow hit. f.LastUse still
 // holds the promoted page's previous access time (the manager updates it
 // after OnHit), so the LRU comparison sees the state that led to the
-// demotion.
+// demotion. The raw signal is emitted as an OverflowPromotion event and
+// the resulting size as an Adapt event; with FreezeCand the signal is
+// emitted but not acted on.
 func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 	betterSpatial, betterLRU := 0, 0
 	for e := p.over.Front(); e != nil; e = e.Next() {
@@ -195,6 +213,15 @@ func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 			betterLRU++
 		}
 	}
+	p.Sink().OverflowPromotion(obs.OverflowPromotionEvent{
+		Page:          f.Meta.ID,
+		BetterSpatial: betterSpatial,
+		BetterLRU:     betterLRU,
+	})
+	if p.freeze {
+		p.adaptations++
+		return
+	}
 	// The overflow population is not a neutral sample: every page in it
 	// was *selected* for a small spatial criterion by the main part's
 	// victim choice, which deflates the better-spatial count relative to
@@ -206,6 +233,7 @@ func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 	if margin < 1 {
 		margin = 1
 	}
+	oldC := p.cand
 	switch {
 	case betterSpatial > betterLRU:
 		// The spatial strategy would have kept many pages ahead of the
@@ -220,16 +248,17 @@ func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 		p.cand = clamp(p.cand+p.step, 1, p.mainCap)
 	}
 	p.adaptations++
-	if p.onAdapt != nil {
-		p.onAdapt(p.cand)
-	}
+	// One Adapt event per adaptation event, even when the size is
+	// unchanged: the paper counts overflow hits as adaptation events, and
+	// Fig. 14 plots one sample per event.
+	p.Sink().Adapt(obs.AdaptEvent{OldC: oldC, NewC: p.cand})
 }
 
 // rebalance demotes main-part SLRU victims into the overflow buffer until
 // the main part is within its share. Pinned pages are never demoted.
 func (p *ASB) rebalance() {
 	for p.main.Len() > p.mainCap {
-		v := p.mainVictim()
+		v, _ := p.mainVictim()
 		if v == nil {
 			return // everything pinned; tolerate a temporarily oversized main part
 		}
@@ -242,46 +271,63 @@ func (p *ASB) rebalance() {
 
 // mainVictim selects the SLRU victim of the main part: the unpinned page
 // with the smallest spatial criterion among the cand least recently used;
-// scanning from the LRU end keeps ties on the older page.
-func (p *ASB) mainVictim() *buffer.Frame {
+// scanning from the LRU end keeps ties on the older page. The second
+// return value is the victim's rank from the LRU end (0 = least recently
+// used), or -1 if there is no victim.
+func (p *ASB) mainVictim() (*buffer.Frame, int) {
 	var best *buffer.Frame
 	var bestCrit float64
+	bestRank := -1
 	seen := 0
 	for e := p.main.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*buffer.Frame)
 		seen++
 		if !f.Pinned() {
 			if c := f.Aux().(*asbAux).crit; best == nil || c < bestCrit {
-				best, bestCrit = f, c
+				best, bestCrit, bestRank = f, c, seen-1
 			}
 		}
 		if seen >= p.cand && best != nil {
 			break
 		}
 	}
-	return best
+	return best, bestRank
 }
 
 // Victim implements buffer.Policy: the FIFO head of the overflow buffer.
 // If the overflow buffer is empty (or fully pinned) the main part's SLRU
 // victim is evicted directly.
 func (p *ASB) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	rank := 0
 	for e := p.over.Front(); e != nil; e = e.Next() {
 		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+			p.lastRank = rank
 			return f
 		}
+		rank++
 	}
-	return p.mainVictim()
+	v, r := p.mainVictim()
+	p.lastRank = r
+	return v
 }
 
 // OnEvict implements buffer.Policy.
 func (p *ASB) OnEvict(f *buffer.Frame) {
 	aux := f.Aux().(*asbAux)
+	reason := obs.ReasonASBMain
 	if aux.inOver {
 		p.over.Remove(aux.elem)
+		reason = obs.ReasonASBOverflow
 	} else {
 		p.main.Remove(aux.elem)
 	}
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:      f.Meta.ID,
+		Reason:    reason,
+		Criterion: aux.crit,
+		LRURank:   p.lastRank,
+	})
+	p.lastRank = -1
 	f.SetAux(nil)
 }
 
@@ -292,6 +338,7 @@ func (p *ASB) Reset() {
 	p.over.Init()
 	p.cand = p.initCand
 	p.adaptations = 0
+	p.lastRank = -1
 }
 
 // OnUpdate implements buffer.Updater: the cached criterion is refreshed

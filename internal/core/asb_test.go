@@ -8,6 +8,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -178,15 +179,50 @@ func TestASBCandidateClamped(t *testing.T) {
 	}
 }
 
-func TestASBOnAdaptHook(t *testing.T) {
-	var sizes []int
+func TestASBAdaptEvents(t *testing.T) {
+	// An overflow hit emits one OverflowPromotion (the §4.2 signal) and
+	// one Adapt event through the attached sink.
+	rec := obs.NewTrajectoryRecorder()
+	var counters obs.Counters
+	areas := []float64{5, 3, 10, 10, 10, 10, 10, 10, 10, 10}
+	p, frames := driveASB(10, areas, core.DefaultASBOptions())
+	p.SetSink(obs.Tee(rec, &counters))
+	p.OnHit(frames[1], 11, buffer.AccessContext{QueryID: 11})
+	if rec.Len() != 1 || rec.Cand[0] != p.CandidateSize() {
+		t.Errorf("recorder saw %v, candidate = %d", rec.Cand, p.CandidateSize())
+	}
+	s := counters.Snapshot()
+	if s.Promotions != 1 || s.Adaptations != 1 {
+		t.Errorf("counters = %+v, want 1 promotion and 1 adaptation", s)
+	}
+	if s.Candidate != uint64(p.CandidateSize()) {
+		t.Errorf("counter candidate = %d, policy = %d", s.Candidate, p.CandidateSize())
+	}
+}
+
+func TestASBFreezeCandPinsSize(t *testing.T) {
+	// FreezeCand: the signal is still emitted but the candidate size
+	// never moves.
 	opts := core.DefaultASBOptions()
-	opts.OnAdapt = func(c int) { sizes = append(sizes, c) }
+	opts.FreezeCand = true
+	var counters obs.Counters
 	areas := []float64{5, 3, 10, 10, 10, 10, 10, 10, 10, 10}
 	p, frames := driveASB(10, areas, opts)
+	p.SetSink(&counters)
+	before := p.CandidateSize()
 	p.OnHit(frames[1], 11, buffer.AccessContext{QueryID: 11})
-	if len(sizes) != 1 || sizes[0] != p.CandidateSize() {
-		t.Errorf("hook saw %v, candidate = %d", sizes, p.CandidateSize())
+	if p.CandidateSize() != before {
+		t.Errorf("frozen candidate moved: %d → %d", before, p.CandidateSize())
+	}
+	s := counters.Snapshot()
+	if s.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1 (signal still emitted)", s.Promotions)
+	}
+	if s.Adaptations != 0 {
+		t.Errorf("adaptations = %d, want 0 (frozen)", s.Adaptations)
+	}
+	if p.Adaptations() != 1 {
+		t.Errorf("Adaptations() = %d, want 1 (overflow hits still counted)", p.Adaptations())
 	}
 }
 

@@ -1,66 +1,67 @@
 package core
 
 import (
-	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
 // ASBProbe is a diagnostic ASB variant with a FIXED candidate size that
-// records the raw adaptation signals instead of acting on them. It is used
-// by calibration tooling to inspect the §4.2 signal distribution under a
-// controlled candidate size.
+// records the raw §4.2 adaptation signals instead of acting on them. It
+// is used by calibration tooling to inspect the signal distribution
+// under a controlled candidate size.
+//
+// The probe is built on the observability layer rather than as a policy
+// fork: the underlying ASB runs with FreezeCand (signals computed and
+// emitted, candidate size pinned) and the probe subscribes to its
+// OverflowPromotion events.
 type ASBProbe struct {
 	*ASB
+	rec *signalRecorder
+}
+
+// signalRecorder tallies the adaptation signals from the event stream.
+type signalRecorder struct {
+	obs.NopSink
 	up, down, eq int
-	// Diffs records betterLRU − betterSpatial per overflow hit.
-	Diffs []int
+	// diffs records betterLRU − betterSpatial per overflow hit.
+	diffs []int
+}
+
+// OverflowPromotion implements obs.Sink.
+func (r *signalRecorder) OverflowPromotion(e obs.OverflowPromotionEvent) {
+	switch {
+	case e.BetterSpatial > e.BetterLRU:
+		r.down++
+	case e.BetterLRU > e.BetterSpatial:
+		r.up++
+	default:
+		r.eq++
+	}
+	r.diffs = append(r.diffs, e.BetterLRU-e.BetterSpatial)
 }
 
 // NewASBProbe builds a probe with the candidate set pinned to candFrac of
 // the main part.
 func NewASBProbe(capacity int, crit page.Criterion, candFrac float64) *ASBProbe {
-	p := &ASBProbe{}
 	opts := DefaultASBOptions()
 	opts.Criterion = crit
 	opts.InitialCandFrac = candFrac
-	opts.OnAdapt = func(int) {}
-	p.ASB = NewASB(capacity, opts)
+	opts.FreezeCand = true
+	p := &ASBProbe{ASB: NewASB(capacity, opts), rec: &signalRecorder{}}
+	p.ASB.SetSink(p.rec)
 	return p
 }
 
-// OnHit intercepts overflow hits to record the raw signal, then restores
-// the pinned candidate size.
-func (p *ASBProbe) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*asbAux)
-	pinned := p.cand
-	wasOver := aux.inOver
-	if wasOver {
-		betterSpatial, betterLRU := 0, 0
-		for e := p.over.Front(); e != nil; e = e.Next() {
-			q := e.Value.(*buffer.Frame)
-			if q == f {
-				continue
-			}
-			if q.Aux().(*asbAux).crit > aux.crit {
-				betterSpatial++
-			}
-			if q.LastUse > f.LastUse {
-				betterLRU++
-			}
-		}
-		switch {
-		case betterSpatial > betterLRU:
-			p.down++
-		case betterLRU > betterSpatial:
-			p.up++
-		default:
-			p.eq++
-		}
-		p.Diffs = append(p.Diffs, betterLRU-betterSpatial)
-	}
-	p.ASB.OnHit(f, now, ctx)
-	p.cand = pinned
+// SetSink implements obs.SinkSetter: an externally attached sink (e.g.
+// via buffer.Manager.SetSink) observes the ASB's events alongside the
+// probe's own recorder.
+func (p *ASBProbe) SetSink(s obs.Sink) {
+	p.ASB.SetSink(obs.Tee(p.rec, s))
 }
 
 // Signals returns the recorded (grow, shrink, equal) event counts.
-func (p *ASBProbe) Signals() (up, down, eq int) { return p.up, p.down, p.eq }
+func (p *ASBProbe) Signals() (up, down, eq int) { return p.rec.up, p.rec.down, p.rec.eq }
+
+// Diffs returns betterLRU − betterSpatial per overflow hit, in event
+// order.
+func (p *ASBProbe) Diffs() []int { return p.rec.diffs }

@@ -4,18 +4,24 @@ import (
 	"container/list"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 )
 
 // LRU is the least-recently-used baseline policy: the victim is the
 // unpinned page that has not been accessed for the longest time.
 type LRU struct {
+	obs.Target
+
 	// order holds *buffer.Frame values, front = most recently used.
 	order *list.List
+	// lastRank is the LRU rank of the frame most recently returned by
+	// Victim (> 0 only when pinned frames were skipped).
+	lastRank int
 }
 
 // NewLRU returns an LRU policy.
 func NewLRU() *LRU {
-	return &LRU{order: list.New()}
+	return &LRU{order: list.New(), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -33,10 +39,13 @@ func (p *LRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 
 // Victim implements buffer.Policy: the least recently used unpinned frame.
 func (p *LRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	rank := 0
 	for e := p.order.Back(); e != nil; e = e.Prev() {
 		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+			p.lastRank = rank
 			return f
 		}
+		rank++
 	}
 	return nil
 }
@@ -44,23 +53,37 @@ func (p *LRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 // OnEvict implements buffer.Policy.
 func (p *LRU) OnEvict(f *buffer.Frame) {
 	p.order.Remove(f.Aux().(*list.Element))
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:    f.Meta.ID,
+		Reason:  obs.ReasonLRU,
+		LRURank: p.lastRank,
+	})
+	p.lastRank = -1
 	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
-func (p *LRU) Reset() { p.order.Init() }
+func (p *LRU) Reset() {
+	p.order.Init()
+	p.lastRank = -1
+}
 
 // FIFO evicts pages in admission order regardless of later hits. It is
 // used as the eviction rule of the ASB overflow buffer and available as a
 // standalone baseline.
 type FIFO struct {
+	obs.Target
+
 	// order holds *buffer.Frame values, front = oldest admission.
 	order *list.List
+	// lastRank is the admission-order rank of the frame most recently
+	// returned by Victim (0 = oldest admission).
+	lastRank int
 }
 
 // NewFIFO returns a FIFO policy.
 func NewFIFO() *FIFO {
-	return &FIFO{order: list.New()}
+	return &FIFO{order: list.New(), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -76,10 +99,13 @@ func (p *FIFO) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {}
 
 // Victim implements buffer.Policy: the oldest unpinned admission.
 func (p *FIFO) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	rank := 0
 	for e := p.order.Front(); e != nil; e = e.Next() {
 		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+			p.lastRank = rank
 			return f
 		}
+		rank++
 	}
 	return nil
 }
@@ -87,8 +113,17 @@ func (p *FIFO) Victim(ctx buffer.AccessContext) *buffer.Frame {
 // OnEvict implements buffer.Policy.
 func (p *FIFO) OnEvict(f *buffer.Frame) {
 	p.order.Remove(f.Aux().(*list.Element))
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:    f.Meta.ID,
+		Reason:  obs.ReasonFIFO,
+		LRURank: p.lastRank,
+	})
+	p.lastRank = -1
 	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
-func (p *FIFO) Reset() { p.order.Init() }
+func (p *FIFO) Reset() {
+	p.order.Init()
+	p.lastRank = -1
+}

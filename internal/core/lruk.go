@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -19,6 +20,8 @@ import (
 // buffered, not with the buffer size. HistRecords and HistBytes expose
 // this cost for the memory comparison against ASB in the evaluation.
 type LRUK struct {
+	obs.Target
+
 	k        int
 	resident map[*buffer.Frame]struct{}
 	hist     map[page.ID]*histRec
@@ -118,9 +121,22 @@ func (p *LRUK) victim(ctx buffer.AccessContext, excludeCorrelated bool) *buffer.
 	return best
 }
 
-// OnEvict implements buffer.Policy. The history record is retained.
+// OnEvict implements buffer.Policy. The history record is retained. The
+// Eviction event's Criterion is the victim's HIST(q,K) — the backward
+// K-distance the policy ranked it by; LRURank is -1 (history order, not
+// recency order).
 func (p *LRUK) OnEvict(f *buffer.Frame) {
 	delete(p.resident, f)
+	var histK float64
+	if rec := p.hist[f.Meta.ID]; rec != nil {
+		histK = float64(rec.times[p.k-1])
+	}
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:      f.Meta.ID,
+		Reason:    obs.ReasonLRUK,
+		Criterion: histK,
+		LRURank:   -1,
+	})
 }
 
 // Reset implements buffer.Policy: it clears residency AND the retained

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -40,10 +41,15 @@ func LevelPriority(m page.Meta) int {
 // from the lowest-priority non-empty class. With TypePriority it is the
 // paper's LRU-T, with LevelPriority its LRU-P.
 type PriorityLRU struct {
+	obs.Target
+
 	name string
 	prio PriorityFunc
 	// classes maps priority → LRU list of *buffer.Frame (front = MRU).
 	classes map[int]*list.List
+	// lastRank is the victim's LRU rank within its priority class at
+	// selection time.
+	lastRank int
 }
 
 // prioAux is the per-frame state of a PriorityLRU.
@@ -65,7 +71,7 @@ func NewLRUP() *PriorityLRU {
 // NewPriorityLRU returns an LRU policy stratified by the given priority
 // function.
 func NewPriorityLRU(name string, prio PriorityFunc) *PriorityLRU {
-	return &PriorityLRU{name: name, prio: prio, classes: make(map[int]*list.List)}
+	return &PriorityLRU{name: name, prio: prio, classes: make(map[int]*list.List), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -99,10 +105,13 @@ func (p *PriorityLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	}
 	sort.Ints(classes)
 	for _, c := range classes {
+		rank := 0
 		for e := p.classes[c].Back(); e != nil; e = e.Prev() {
 			if f := e.Value.(*buffer.Frame); !f.Pinned() {
+				p.lastRank = rank
 				return f
 			}
+			rank++
 		}
 	}
 	return nil
@@ -112,10 +121,18 @@ func (p *PriorityLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 func (p *PriorityLRU) OnEvict(f *buffer.Frame) {
 	aux := f.Aux().(*prioAux)
 	p.classes[aux.class].Remove(aux.elem)
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:      f.Meta.ID,
+		Reason:    obs.ReasonPriority,
+		Criterion: float64(aux.class),
+		LRURank:   p.lastRank,
+	})
+	p.lastRank = -1
 	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
 func (p *PriorityLRU) Reset() {
 	p.classes = make(map[int]*list.List)
+	p.lastRank = -1
 }

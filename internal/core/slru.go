@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -14,10 +15,15 @@ import (
 // criterion, LRU tie-break). candSize interpolates between pure LRU
 // (candSize = 1) and the pure spatial policy (candSize = buffer size).
 type SLRU struct {
+	obs.Target
+
 	crit     page.Criterion
 	candSize int
 	// order holds *buffer.Frame values, front = most recently used.
 	order *list.List
+	// lastRank is the LRU rank of the frame most recently returned by
+	// Victim, consumed by the Eviction event in OnEvict.
+	lastRank int
 }
 
 // slruAux is the per-frame state of an SLRU policy.
@@ -32,7 +38,7 @@ func NewSLRU(crit page.Criterion, candSize int) *SLRU {
 	if candSize < 1 {
 		panic(fmt.Sprintf("core: SLRU candidate size must be ≥ 1, got %d", candSize))
 	}
-	return &SLRU{crit: crit, candSize: candSize, order: list.New()}
+	return &SLRU{crit: crit, candSize: candSize, order: list.New(), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -59,12 +65,14 @@ func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	var best *buffer.Frame
 	var bestCrit float64
 	seen := 0
+	p.lastRank = -1
 	for e := p.order.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*buffer.Frame)
 		seen++
 		if !f.Pinned() {
 			if c := f.Aux().(*slruAux).crit; best == nil || c < bestCrit {
 				best, bestCrit = f, c
+				p.lastRank = seen - 1
 			}
 		}
 		if seen >= p.candSize && best != nil {
@@ -76,12 +84,23 @@ func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 
 // OnEvict implements buffer.Policy.
 func (p *SLRU) OnEvict(f *buffer.Frame) {
-	p.order.Remove(f.Aux().(*slruAux).elem)
+	aux := f.Aux().(*slruAux)
+	p.order.Remove(aux.elem)
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:      f.Meta.ID,
+		Reason:    obs.ReasonSLRU,
+		Criterion: aux.crit,
+		LRURank:   p.lastRank,
+	})
+	p.lastRank = -1
 	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
-func (p *SLRU) Reset() { p.order.Init() }
+func (p *SLRU) Reset() {
+	p.order.Init()
+	p.lastRank = -1
+}
 
 // OnUpdate implements buffer.Updater: refresh the cached criterion and
 // the recency position.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -19,6 +20,8 @@ import (
 // by (criterion, last use); hits only need a heap fix for the recency
 // component and eviction is O(log n).
 type Spatial struct {
+	obs.Target
+
 	crit page.Criterion
 	h    spatialHeap
 }
@@ -79,12 +82,20 @@ func (p *Spatial) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	return victim
 }
 
-// OnEvict implements buffer.Policy.
+// OnEvict implements buffer.Policy. The Eviction event carries the
+// spatial criterion value; LRURank is -1 (the heap tracks recency only
+// as a tie-break, not as a rank).
 func (p *Spatial) OnEvict(f *buffer.Frame) {
 	aux := f.Aux().(*spatialAux)
 	if aux.idx >= 0 {
 		heap.Remove(&p.h, aux.idx)
 	}
+	p.Sink().Eviction(obs.EvictionEvent{
+		Page:      f.Meta.ID,
+		Reason:    obs.ReasonSpatial,
+		Criterion: aux.crit,
+		LRURank:   -1,
+	})
 	f.SetAux(nil)
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/queryset"
 	"repro/internal/rtree"
 	"repro/internal/trace"
@@ -220,13 +221,7 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 
 	frames := db.Frames(frac)
 	out := &AdaptationTrace{Frames: frames}
-	refIndex := 0
-	opts := core.DefaultASBOptions()
-	opts.OnAdapt = func(c int) {
-		out.Sizes = append(out.Sizes, c)
-		out.RefAt = append(out.RefAt, refIndex)
-	}
-	pol := core.NewASB(frames, opts)
+	pol := core.NewASB(frames, core.DefaultASBOptions())
 	out.Initial = pol.CandidateSize()
 	out.MainCap = pol.MainCapacity()
 
@@ -234,6 +229,11 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 	if err != nil {
 		return nil, err
 	}
+	// The candidate-set trajectory is captured from the event stream: the
+	// recorder counts Request events for the reference index and samples
+	// the size at every Adapt event.
+	rec := obs.NewTrajectoryRecorder()
+	m.SetSink(rec)
 	// One continuous run over the three phases (no clearing in between:
 	// the point is to watch the buffer adapt to the changing profile).
 	queryOffset := uint64(0)
@@ -243,14 +243,15 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 			if _, err := m.Get(ref.Page, buffer.AccessContext{QueryID: queryOffset + ref.Query}); err != nil {
 				return nil, err
 			}
-			refIndex++
 			if ref.Query > maxQ {
 				maxQ = ref.Query
 			}
 		}
 		queryOffset += maxQ
-		out.PhaseEnds[pi] = refIndex
+		out.PhaseEnds[pi] = rec.Refs()
 	}
+	out.RefAt = rec.Ref
+	out.Sizes = rec.Cand
 	return out, nil
 }
 

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters is a concurrency-safe event aggregator: plain atomic
+// counters, cheap enough to leave attached in production. It implements
+// Sink and may be shared by several producers (e.g. one Counters behind
+// a buffer.SyncManager serving many goroutines, or one per shard summed
+// at scrape time).
+type Counters struct {
+	requests    atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	promotions  atomic.Uint64
+	adaptations atomic.Uint64
+	// candLast is the most recent ASB candidate-set size observed via
+	// Adapt events (0 until the first event).
+	candLast atomic.Uint64
+}
+
+// Request implements Sink.
+func (c *Counters) Request(e RequestEvent) {
+	c.requests.Add(1)
+	if e.Hit {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+}
+
+// Eviction implements Sink.
+func (c *Counters) Eviction(EvictionEvent) { c.evictions.Add(1) }
+
+// OverflowPromotion implements Sink.
+func (c *Counters) OverflowPromotion(OverflowPromotionEvent) { c.promotions.Add(1) }
+
+// Adapt implements Sink.
+func (c *Counters) Adapt(e AdaptEvent) {
+	c.adaptations.Add(1)
+	c.candLast.Store(uint64(e.NewC))
+}
+
+// Snapshot is a point-in-time copy of the counters, JSON-marshalable in
+// the expvar style.
+type Snapshot struct {
+	Requests    uint64 `json:"requests"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Promotions  uint64 `json:"overflow_promotions"`
+	Adaptations uint64 `json:"adaptations"`
+	Candidate   uint64 `json:"candidate_size"`
+}
+
+// HitRatio returns Hits/Requests, or 0 for an unused buffer.
+func (s Snapshot) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// Snapshot returns a point-in-time copy of the counters. Under
+// concurrent producers the fields are individually, not mutually,
+// consistent — the usual expvar contract.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Requests:    c.requests.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Promotions:  c.promotions.Load(),
+		Adaptations: c.adaptations.Load(),
+		Candidate:   c.candLast.Load(),
+	}
+}
+
+// String renders the snapshot as a single JSON object (expvar.Var
+// compatible), so a Counters can be published with expvar.Publish.
+func (c *Counters) String() string {
+	s := c.Snapshot()
+	return fmt.Sprintf(
+		`{"requests": %d, "hits": %d, "misses": %d, "evictions": %d, "overflow_promotions": %d, "adaptations": %d, "candidate_size": %d, "hit_ratio": %.6f}`,
+		s.Requests, s.Hits, s.Misses, s.Evictions, s.Promotions, s.Adaptations, s.Candidate, s.HitRatio())
+}

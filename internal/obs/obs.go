@@ -1,0 +1,189 @@
+// Package obs is the observability layer of the buffer system: a
+// structured event stream emitted by the buffer manager and the
+// replacement policies, plus cheap aggregators (atomic counters, a
+// windowed hit-ratio tracker), exporters (JSONL, CSV c-trajectory) and
+// profiling helpers shared by the commands.
+//
+// The design constraint is that observability must be free when unused:
+// every producer holds a Sink (never nil — NopSink by default) and emits
+// fixed-size event structs by value, so with the no-op sink the
+// Manager.Get hot path stays allocation-free (asserted by
+// TestRequestHitPathZeroAllocs in package buffer).
+//
+// Event types mirror the decisions the paper's evaluation reasons about:
+//
+//   - Request — every read-path buffer request, hit or miss (§3's
+//     disk-access metric is derived from these);
+//   - Eviction — a page leaving the buffer, with the policy's reason,
+//     the criterion value that condemned it and its LRU rank;
+//   - OverflowPromotion — an ASB overflow hit with the §4.2 adaptation
+//     signal (better-spatial vs better-LRU counts);
+//   - Adapt — a change (or re-confirmation) of the ASB candidate-set
+//     size, the series plotted in Fig. 14.
+//
+// Producers attach sinks through SetSink; buffer.Manager forwards its
+// sink to the policy when the policy implements SinkSetter, so one call
+// instruments the whole stack.
+package obs
+
+import "repro/internal/page"
+
+// RequestEvent describes one read-path buffer request.
+type RequestEvent struct {
+	Page    page.ID
+	QueryID uint64
+	Hit     bool
+}
+
+// Eviction reasons. Constants rather than free-form strings so sinks can
+// switch on them without comparisons against magic literals.
+const (
+	ReasonLRU         = "lru"          // least recently used
+	ReasonFIFO        = "fifo"         // oldest admission
+	ReasonPriority    = "priority-lru" // LRU within the lowest non-empty priority class (LRU-T/LRU-P)
+	ReasonSLRU        = "slru"         // spatial choice from the LRU candidate set
+	ReasonSpatial     = "spatial"      // pure spatial minimum-criterion choice
+	ReasonLRUK        = "lru-k"        // oldest HIST(q,K)
+	ReasonASBOverflow = "asb-overflow" // FIFO head of the ASB overflow buffer
+	ReasonASBMain     = "asb-main"     // ASB main-part SLRU victim (overflow empty)
+)
+
+// EvictionEvent describes a page leaving the buffer. Criterion is the
+// policy's victim-selection value (spatial criterion for the spatial
+// family, HIST(q,K) for LRU-K; 0 when not applicable). LRURank is the
+// victim's distance from the LRU end of the policy's recency order at
+// selection time (0 = least recently used), or -1 when the policy has no
+// meaningful rank (heap-ordered or history-ordered policies).
+type EvictionEvent struct {
+	Page      page.ID
+	Reason    string
+	Criterion float64
+	LRURank   int
+}
+
+// OverflowPromotionEvent describes an ASB overflow hit: the page is
+// promoted back into the main part and the §4.2 signal is computed.
+// BetterSpatial counts overflow pages with a larger spatial criterion
+// than the promoted page; BetterLRU counts those with a more recent use.
+type OverflowPromotionEvent struct {
+	Page          page.ID
+	BetterSpatial int
+	BetterLRU     int
+}
+
+// AdaptEvent describes one adaptation event of the ASB candidate-set
+// size. One event is emitted per overflow hit even when the size is
+// unchanged (OldC == NewC), matching the paper's definition of an
+// adaptation event, so the event count equals the overflow-hit count.
+type AdaptEvent struct {
+	OldC int
+	NewC int
+}
+
+// Sink receives buffer and policy events. Implementations must treat the
+// calls as hot-path: no locking beyond what the caller's concurrency
+// model requires, no retention of pointers into policy state (events are
+// self-contained values). A sink used with buffer.SyncManager must be
+// safe for concurrent use (Counters is; the file-writing sinks are not).
+type Sink interface {
+	Request(e RequestEvent)
+	Eviction(e EvictionEvent)
+	OverflowPromotion(e OverflowPromotionEvent)
+	Adapt(e AdaptEvent)
+}
+
+// SinkSetter is implemented by event producers (policies, managers) that
+// accept a sink. buffer.Manager.SetSink forwards to its policy through
+// this interface.
+type SinkSetter interface {
+	SetSink(Sink)
+}
+
+// NopSink discards all events. It is the default sink of every producer;
+// its calls compile to nothing and add no allocations.
+type NopSink struct{}
+
+// Request implements Sink.
+func (NopSink) Request(RequestEvent) {}
+
+// Eviction implements Sink.
+func (NopSink) Eviction(EvictionEvent) {}
+
+// OverflowPromotion implements Sink.
+func (NopSink) OverflowPromotion(OverflowPromotionEvent) {}
+
+// Adapt implements Sink.
+func (NopSink) Adapt(AdaptEvent) {}
+
+// Target is an embeddable sink holder. Embedding it makes a producer a
+// SinkSetter; Sink() never returns nil, so producers can emit without
+// nil checks even on zero-valued embedders.
+type Target struct {
+	sink Sink
+}
+
+// SetSink implements SinkSetter. A nil sink resets to NopSink.
+func (t *Target) SetSink(s Sink) {
+	if s == nil {
+		s = NopSink{}
+	}
+	t.sink = s
+}
+
+// Sink returns the attached sink, or NopSink if none was set.
+func (t *Target) Sink() Sink {
+	if t.sink == nil {
+		return NopSink{}
+	}
+	return t.sink
+}
+
+// multiSink fans events out to several sinks in order.
+type multiSink []Sink
+
+func (m multiSink) Request(e RequestEvent) {
+	for _, s := range m {
+		s.Request(e)
+	}
+}
+
+func (m multiSink) Eviction(e EvictionEvent) {
+	for _, s := range m {
+		s.Eviction(e)
+	}
+}
+
+func (m multiSink) OverflowPromotion(e OverflowPromotionEvent) {
+	for _, s := range m {
+		s.OverflowPromotion(e)
+	}
+}
+
+func (m multiSink) Adapt(e AdaptEvent) {
+	for _, s := range m {
+		s.Adapt(e)
+	}
+}
+
+// Tee returns a sink that forwards every event to all the given sinks in
+// order. Nil entries and NopSinks are dropped; Tee of zero remaining
+// sinks is a NopSink, of one is that sink itself.
+func Tee(sinks ...Sink) Sink {
+	var kept multiSink
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		if _, nop := s.(NopSink); nop {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	switch len(kept) {
+	case 0:
+		return NopSink{}
+	case 1:
+		return kept[0]
+	}
+	return kept
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileFlags is the shared -cpuprofile/-memprofile/-trace wiring of
+// the commands (spatialbench, datagen, tracedump): register the flags,
+// call Start after flag.Parse, and invoke the returned stop function
+// before exiting (NOT via defer past an os.Exit).
+//
+//	var prof obs.ProfileFlags
+//	prof.Register(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	...
+//	stop()
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register adds the profiling flags to fs.
+func (p *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins CPU profiling and execution tracing as requested and
+// returns a stop function that ends them and writes the heap profile.
+// The stop function is idempotent and never nil; it returns the first
+// error encountered while finalizing the profiles.
+func (p *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+			traceFile = nil
+		}
+	}
+
+	if p.CPUProfile != "" {
+		cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		traceFile, err = os.Create(p.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			cpuFile = nil
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			traceFile = nil
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("obs: memprofile: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // materialize up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("obs: memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

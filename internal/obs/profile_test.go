@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var p ProfileFlags
+	p.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-trace", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUProfile != "a" || p.MemProfile != "b" || p.Trace != "c" {
+		t.Errorf("parsed = %+v", p)
+	}
+}
+
+func TestProfileFlagsStartStopWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := ProfileFlags{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do a little work so the trace has something to record.
+	sink := 0
+	for i := 0; i < 1000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	for _, f := range []string{p.CPUProfile, p.MemProfile, p.Trace} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestProfileFlagsEmptyIsNoop(t *testing.T) {
+	var p ProfileFlags
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileFlagsBadPath(t *testing.T) {
+	p := ProfileFlags{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := p.Start(); err == nil {
+		t.Error("unwritable cpuprofile path should error")
+	}
+}

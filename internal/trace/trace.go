@@ -6,12 +6,16 @@
 // (database, query set) pair and replays it through every policy × buffer
 // size. Replay produces exactly the disk-access counts of live execution —
 // an equivalence the integration tests assert — at a fraction of the cost.
+// ReplayWithSink additionally re-emits the obs event stream during replay,
+// so recorded traces can feed the same exporters (JSONL, counters,
+// c-trajectories) as live runs.
 package trace
 
 import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/queryset"
 	"repro/internal/rtree"
@@ -68,6 +72,18 @@ func Replay(tr *Trace, store storage.Store, pol buffer.Policy, capacity int) (bu
 	if err != nil {
 		return buffer.Stats{}, err
 	}
+	return ReplayOn(tr, m)
+}
+
+// ReplayWithSink is Replay with an observability sink attached before the
+// first reference, so replay re-emits the full event stream (requests,
+// evictions, promotions, adaptations) exactly as live execution would.
+func ReplayWithSink(tr *Trace, store storage.Store, pol buffer.Policy, capacity int, sink obs.Sink) (buffer.Stats, error) {
+	m, err := buffer.NewManager(store, pol, capacity)
+	if err != nil {
+		return buffer.Stats{}, err
+	}
+	m.SetSink(sink)
 	return ReplayOn(tr, m)
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/queryset"
 	"repro/internal/rtree"
@@ -96,41 +97,63 @@ func TestRecordDeterministic(t *testing.T) {
 // TestReplayEquivalentToLive is the correctness anchor of the experiment
 // harness: replaying a recorded trace must produce exactly the same
 // hit/miss counts as executing the queries live through the buffer, for
-// every policy family.
+// every policy family. Each policy also replays once more with a counting
+// sink attached, which must neither perturb the stats nor disagree with
+// them — replay re-emits the event stream live execution would produce.
 func TestReplayEquivalentToLive(t *testing.T) {
 	tr, store, qs := buildFixture(t)
 	capacity := 48
-	policies := []func() buffer.Policy{
-		func() buffer.Policy { return core.NewLRU() },
-		func() buffer.Policy { return core.NewFIFO() },
-		func() buffer.Policy { return core.NewLRUP() },
-		func() buffer.Policy { return core.NewLRUK(2) },
-		func() buffer.Policy { return core.NewSpatial(page.CritA) },
-		func() buffer.Policy { return core.NewSpatial(page.CritEO) },
-		func() buffer.Policy { return core.NewSLRU(page.CritA, 12) },
-		func() buffer.Policy { return core.NewASB(capacity, core.DefaultASBOptions()) },
+	cases := []struct {
+		name string
+		mk   func() buffer.Policy
+	}{
+		{"LRU", func() buffer.Policy { return core.NewLRU() }},
+		{"FIFO", func() buffer.Policy { return core.NewFIFO() }},
+		{"LRU-P", func() buffer.Policy { return core.NewLRUP() }},
+		{"LRU-2", func() buffer.Policy { return core.NewLRUK(2) }},
+		{"LRU-3", func() buffer.Policy { return core.NewLRUK(3) }},
+		{"spatial-A", func() buffer.Policy { return core.NewSpatial(page.CritA) }},
+		{"spatial-EO", func() buffer.Policy { return core.NewSpatial(page.CritEO) }},
+		{"SLRU", func() buffer.Policy { return core.NewSLRU(page.CritA, 12) }},
+		{"ASB", func() buffer.Policy { return core.NewASB(capacity, core.DefaultASBOptions()) }},
+		{"ASB-probe", func() buffer.Policy { return core.NewASBProbe(capacity, page.CritA, core.DefaultASBOptions().InitialCandFrac) }},
 	}
 	trc, err := Record(tr, qs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, mk := range policies {
-		polLive := mk()
-		mLive, err := buffer.NewManager(store, polLive, capacity)
-		if err != nil {
-			t.Fatal(err)
-		}
-		live, err := RunLive(tr, qs, mLive)
-		if err != nil {
-			t.Fatal(err)
-		}
-		replayed, err := Replay(trc, store, mk(), capacity)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if live != replayed {
-			t.Errorf("%s: live %+v != replay %+v", polLive.Name(), live, replayed)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mLive, err := buffer.NewManager(store, tc.mk(), capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, err := RunLive(tr, qs, mLive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := Replay(trc, store, tc.mk(), capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live != replayed {
+				t.Errorf("live %+v != replay %+v", live, replayed)
+			}
+
+			var counters obs.Counters
+			observed, err := ReplayWithSink(trc, store, tc.mk(), capacity, &counters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if observed != live {
+				t.Errorf("sink perturbs replay: %+v != %+v", observed, live)
+			}
+			snap := counters.Snapshot()
+			if snap.Requests != live.Requests || snap.Hits != live.Hits ||
+				snap.Misses != live.Misses || snap.Evictions != live.Evictions {
+				t.Errorf("event counts %+v disagree with stats %+v", snap, live)
+			}
+		})
 	}
 }
 
