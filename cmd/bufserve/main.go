@@ -1,0 +1,235 @@
+// Command bufserve runs a spatial buffer as a long-lived daemon and
+// serves its live metrics over HTTP. It builds one of the synthetic
+// databases, records the page-reference trace of a query set, and then
+// replays that trace in a loop from several worker goroutines through a
+// shared, mutex-protected buffer — a steady-state workload to watch
+// through /metrics, /vars and the dashboard.
+//
+// Start it and look around:
+//
+//	bufserve -addr :8080 -objects 20000 -set U-P -policy ASB
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics | grep spatialbuf_
+//	curl -N localhost:8080/events/ctraj       # SSE: live c-trajectory
+//	open http://localhost:8080/               # dashboard
+//
+// The HTTP server (including /debug/pprof) comes up before the database
+// build starts, so /healthz answers immediately; /metrics serves zeros
+// until the workload is running. Event capture to disk is optional:
+// -events FILE attaches a JSONL sink behind the async ring (-ring) with
+// 1-in-N request sampling (-sample); ring overflow is dropped, counted
+// and exported as spatialbuf_events_dropped_total rather than ever
+// blocking the request path.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+)
+
+type config struct {
+	addr     string
+	dbNum    int
+	objects  int
+	seed     int64
+	set      string
+	policy   string
+	frac     float64
+	workers  int
+	duration time.Duration
+	loops    int
+	rate     int
+	events   string
+	sample   int
+	ring     int
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "HTTP listen address for metrics, dashboard and pprof")
+	flag.IntVar(&cfg.dbNum, "db", 1, "database number (1 or 2)")
+	flag.IntVar(&cfg.objects, "objects", 0, "objects in the database (0 = default scale)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "generation seed")
+	flag.StringVar(&cfg.set, "set", "U-P", "query set to replay (e.g. U-P, INT-W-33)")
+	flag.StringVar(&cfg.policy, "policy", "ASB", "replacement policy")
+	flag.Float64Var(&cfg.frac, "frac", experiment.LargestFrac, "buffer size as a fraction of the database")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "concurrent replay goroutines")
+	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0 = run until signalled)")
+	flag.IntVar(&cfg.loops, "loops", 0, "trace replays per worker (0 = unbounded)")
+	flag.IntVar(&cfg.rate, "rate", 0, "approximate total requests/second across workers (0 = unthrottled)")
+	flag.StringVar(&cfg.events, "events", "", "also capture the event stream as JSONL to this file")
+	flag.IntVar(&cfg.sample, "sample", 64, "with -events: keep 1 in N request events (evictions etc. always kept)")
+	flag.IntVar(&cfg.ring, "ring", live.DefaultRingCapacity, "with -events: async ring capacity in events")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "bufserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.duration)
+		defer cancel()
+	}
+
+	svc := live.NewService()
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	// Listen synchronously so a bad -addr fails fast and /healthz is
+	// reachable while the (potentially long) database build runs.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("bufserve: serving metrics on http://%s/\n", ln.Addr())
+
+	db, err := experiment.Get(cfg.dbNum, experiment.Options{Objects: cfg.objects, Seed: cfg.seed})
+	if err != nil {
+		return err
+	}
+	tr, err := db.Trace(cfg.set, cfg.seed)
+	if err != nil {
+		return err
+	}
+	fac, err := core.FactoryByName(cfg.policy)
+	if err != nil {
+		return err
+	}
+	frames := db.Frames(cfg.frac)
+	pol := fac.New(frames)
+	m, err := buffer.NewManager(db.Store, pol, frames)
+	if err != nil {
+		return err
+	}
+	sm := buffer.NewSyncManager(m)
+
+	if asb, ok := pol.(live.ASBGauges); ok {
+		svc.AddASBGauges(asb)
+	}
+	svc.AddGauge("spatialbuf_resident_pages", "Pages currently held in buffer frames.",
+		func() float64 { return float64(sm.Len()) })
+	svc.AddGauge("spatialbuf_capacity_pages", "Total buffer capacity in frames.",
+		func() float64 { return float64(frames) })
+	svc.AddGauge("spatialbuf_workers", "Replay worker goroutines.",
+		func() float64 { return float64(cfg.workers) })
+
+	sinks := []obs.Sink{svc.Sink()}
+	var async *live.AsyncSink
+	if cfg.events != "" {
+		f, err := os.Create(cfg.events)
+		if err != nil {
+			return err
+		}
+		jsonl := obs.NewJSONLSinkCloser(f)
+		jsonl.Mark(fmt.Sprintf("bufserve %s/%s/%.4f workers=%d", cfg.set, cfg.policy, cfg.frac, cfg.workers))
+		// The ring makes the single-goroutine JSONL sink safe under many
+		// producers and keeps file I/O off the request path; sampling
+		// keeps the file size proportional to interesting events.
+		async = live.NewAsyncSink(obs.NewSamplingSink(jsonl, cfg.sample), cfg.ring, svc.Counters.AddDropped)
+		sinks = append(sinks, async)
+	}
+	sm.SetSink(obs.Tee(sinks...))
+
+	fmt.Printf("bufserve: %s, %d-page buffer (%s, %.1f%%), replaying %s (%d refs) on %d workers\n",
+		db.Name, frames, cfg.policy, cfg.frac*100, cfg.set, tr.Len(), cfg.workers)
+
+	var wg sync.WaitGroup
+	var interval time.Duration
+	if cfg.rate > 0 {
+		interval = time.Duration(int64(cfg.workers) * int64(time.Second) / int64(cfg.rate))
+	}
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct query-ID ranges per worker and per loop keep the
+			// spatial locality of each replayed query intact without two
+			// workers ever sharing a query ID.
+			var tick *time.Ticker
+			if interval > 0 {
+				tick = time.NewTicker(interval)
+				defer tick.Stop()
+			}
+			for loop := 0; cfg.loops == 0 || loop < cfg.loops; loop++ {
+				base := uint64(w)<<48 | uint64(loop)<<24
+				for _, ref := range tr.Refs {
+					if ctx.Err() != nil {
+						return
+					}
+					if tick != nil {
+						select {
+						case <-tick.C:
+						case <-ctx.Done():
+							return
+						}
+					}
+					if _, err := sm.Get(ref.Page, buffer.AccessContext{QueryID: base + ref.Query}); err != nil {
+						fmt.Fprintf(os.Stderr, "bufserve: worker %d: %v\n", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+	select {
+	case <-ctx.Done():
+	case <-workersDone: // finite -loops finished early
+	case err := <-serveErr:
+		stop()
+		<-workersDone
+		return fmt.Errorf("http server: %w", err)
+	}
+	stop()
+	<-workersDone
+
+	// Shutdown order matters: detach producers, then drain the ring,
+	// then stop serving (so a final scrape still sees the full counts).
+	sm.SetSink(nil)
+	if async != nil {
+		if err := async.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bufserve: closing event sink: %v\n", err)
+		}
+		fmt.Printf("bufserve: event capture: %d delivered, %d dropped\n", async.Delivered(), async.Dropped())
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Printf("bufserve: final counters: %s\n", svc.Counters.String())
+	return nil
+}

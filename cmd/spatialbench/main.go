@@ -26,11 +26,18 @@
 // the Fig. 14 adaptation workload and writes the ASB candidate-size
 // trajectory as CSV (render it with asbviz -in FILE). The standard
 // -cpuprofile, -memprofile and -trace flags profile the whole run.
+//
+// Live monitoring: -serve ADDR starts the metrics HTTP server of
+// internal/obs/live (Prometheus /metrics, JSON /vars, /healthz, SSE
+// /events/ctraj, dashboard at /) and feeds it every replay the run
+// performs, so long sweeps can be watched while they execute.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/trace"
 )
 
@@ -56,6 +64,7 @@ type config struct {
 	events     string
 	window     int
 	ctraj      string
+	serve      string
 }
 
 func main() {
@@ -73,6 +82,7 @@ func main() {
 	flag.StringVar(&cfg.events, "events", "", "with -sets: write the sweep's event stream as JSONL to this file")
 	flag.IntVar(&cfg.window, "window", 0, "with -sets: print hit ratios over windows of N requests")
 	flag.StringVar(&cfg.ctraj, "ctraj", "", "run the Fig. 14 adaptation workload and write the c-trajectory CSV to this file")
+	flag.StringVar(&cfg.serve, "serve", "", "serve live metrics on this address (e.g. :8080) while the run executes")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -97,6 +107,22 @@ func main() {
 
 func run(cfg config) error {
 	opts := experiment.Options{Objects: cfg.objects, Seed: cfg.seed}
+
+	if cfg.serve != "" {
+		// The listener is opened synchronously so a bad address fails the
+		// run instead of a background goroutine. Every replay the
+		// experiment package performs then feeds the service's sink; the
+		// server is torn down with the process (benchmark runs exit when
+		// done, so there is no separate shutdown path).
+		svc := live.NewService()
+		ln, err := net.Listen("tcp", cfg.serve)
+		if err != nil {
+			return fmt.Errorf("-serve %s: %w", cfg.serve, err)
+		}
+		experiment.SetObserver(svc.Sink())
+		go http.Serve(ln, svc.Handler())
+		fmt.Printf("serving live metrics on http://%s/\n", ln.Addr())
+	}
 
 	optsFor := func(n int) experiment.Options {
 		o := opts

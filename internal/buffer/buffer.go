@@ -16,6 +16,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/page"
@@ -138,6 +139,11 @@ type Manager struct {
 	// default), so the hot path emits unconditionally and stays
 	// allocation-free when unobserved.
 	sink obs.Sink
+	// timer is non-nil only when sink implements obs.LatencyRecorder;
+	// then each request is bracketed with monotonic-clock readings and
+	// the elapsed nanoseconds published. Latency-blind sinks (including
+	// NopSink) keep the hot path free of clock reads.
+	timer obs.LatencyRecorder
 }
 
 // NewManager creates a buffer of the given capacity (in frames, ≥ 1) over
@@ -168,6 +174,7 @@ func (m *Manager) SetSink(s obs.Sink) {
 		s = obs.NopSink{}
 	}
 	m.sink = s
+	m.timer, _ = s.(obs.LatencyRecorder)
 	if ss, ok := m.policy.(obs.SinkSetter); ok {
 		ss.SetSink(s)
 	}
@@ -236,8 +243,20 @@ func (m *Manager) MarkDirty(id page.ID) error {
 	return nil
 }
 
-// request implements the hit/miss protocol.
+// request implements the hit/miss protocol, timing the request when the
+// sink asked for latencies.
 func (m *Manager) request(id page.ID, ctx AccessContext) (*Frame, error) {
+	if m.timer == nil {
+		return m.serve(id, ctx)
+	}
+	start := time.Now()
+	f, err := m.serve(id, ctx)
+	m.timer.RecordLatency(time.Since(start).Nanoseconds())
+	return f, err
+}
+
+// serve is the untimed hit/miss protocol.
+func (m *Manager) serve(id page.ID, ctx AccessContext) (*Frame, error) {
 	m.clock++
 	now := m.clock
 	m.stats.Requests++
@@ -342,8 +361,20 @@ type Updater interface {
 // it is the write path for update workloads. A non-resident page is
 // admitted without a physical read (the caller provides the content); a
 // resident page is replaced in place. Dirty pages are written back on
-// eviction or Flush.
+// eviction or Flush. Like reads, Puts are timed when the sink implements
+// obs.LatencyRecorder.
 func (m *Manager) Put(p *page.Page, ctx AccessContext) error {
+	if m.timer == nil {
+		return m.put(p, ctx)
+	}
+	start := time.Now()
+	err := m.put(p, ctx)
+	m.timer.RecordLatency(time.Since(start).Nanoseconds())
+	return err
+}
+
+// put is the untimed write path.
+func (m *Manager) put(p *page.Page, ctx AccessContext) error {
 	if p == nil || p.ID == page.InvalidID {
 		return errors.New("buffer: put of invalid page")
 	}

@@ -130,6 +130,44 @@ func TestSyncManagerSetSink(t *testing.T) {
 	}
 }
 
+// TestManagerTimesRequestsForLatencySinks asserts the timing points:
+// when (and only when) the attached sink implements obs.LatencyRecorder,
+// every read and write request publishes a latency sample.
+func TestManagerTimesRequestsForLatencySinks(t *testing.T) {
+	s := newStore(t, 4)
+	m, err := NewManager(s, newTestPolicy(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h obs.Histogram
+	m.SetSink(&h)
+
+	for _, id := range []page.ID{1, 1, 2} {
+		if _, err := m.Get(id, AccessContext{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := s.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(p, AccessContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("latency samples = %d, want 4 (3 gets + 1 put)", got)
+	}
+
+	// Detaching stops the clock reads.
+	m.SetSink(nil)
+	if _, err := m.Get(1, AccessContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("latency samples after detach = %d, want 4", got)
+	}
+}
+
 // TestRequestHitPathZeroAllocs is the acceptance gate of the
 // observability layer: with the default no-op sink, a buffer hit must
 // not allocate at all — attaching the event stream may cost nothing

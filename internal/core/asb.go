@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
@@ -88,6 +89,12 @@ type ASB struct {
 	lastRank int
 
 	adaptations uint64
+
+	// gCand/gOver mirror cand and over.Len() atomically so that a
+	// metrics scraper can read the live gauges without taking the
+	// SyncManager lock that serializes the policy callbacks.
+	gCand atomic.Int64
+	gOver atomic.Int64
 }
 
 // asbAux is the per-frame state of an ASB policy.
@@ -134,8 +141,26 @@ func NewASB(capacity int, opts ASBOptions) *ASB {
 		lastRank: -1,
 	}
 	a.cand = a.initCand
+	a.publishGauges()
 	return a
 }
+
+// publishGauges refreshes the atomic gauge mirrors; called at the end of
+// every callback that can change the candidate size or the overflow
+// occupancy.
+func (p *ASB) publishGauges() {
+	p.gCand.Store(int64(p.cand))
+	p.gOver.Store(int64(p.over.Len()))
+}
+
+// LiveCandidateSize returns the current candidate-set size from the
+// atomic gauge mirror; unlike CandidateSize it is safe to call from a
+// scrape goroutine while another goroutine drives the buffer.
+func (p *ASB) LiveCandidateSize() int { return int(p.gCand.Load()) }
+
+// LiveOverflowLen returns the current overflow-buffer occupancy from the
+// atomic gauge mirror (see LiveCandidateSize).
+func (p *ASB) LiveOverflowLen() int { return int(p.gOver.Load()) }
 
 // clamp bounds v to [lo, hi].
 func clamp(v, lo, hi int) int {
@@ -175,6 +200,7 @@ func (p *ASB) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 	f.SetAux(aux)
 	aux.elem = p.main.PushFront(f)
 	p.rebalance()
+	p.publishGauges()
 }
 
 // OnHit implements buffer.Policy. A hit in the main part refreshes
@@ -191,6 +217,7 @@ func (p *ASB) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 	aux.inOver = false
 	aux.elem = p.main.PushFront(f)
 	p.rebalance()
+	p.publishGauges()
 }
 
 // adapt applies the self-tuning rule on an overflow hit. f.LastUse still
@@ -329,6 +356,7 @@ func (p *ASB) OnEvict(f *buffer.Frame) {
 	})
 	p.lastRank = -1
 	f.SetAux(nil)
+	p.publishGauges()
 }
 
 // Reset implements buffer.Policy: both parts are cleared and the
@@ -339,6 +367,7 @@ func (p *ASB) Reset() {
 	p.cand = p.initCand
 	p.adaptations = 0
 	p.lastRank = -1
+	p.publishGauges()
 }
 
 // OnUpdate implements buffer.Updater: the cached criterion is refreshed
@@ -357,4 +386,5 @@ func (p *ASB) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 	aux.inOver = false
 	aux.elem = p.main.PushFront(f)
 	p.rebalance()
+	p.publishGauges()
 }

@@ -343,3 +343,40 @@ func TestASBMatchesSLRUWithoutOverflowHits(t *testing.T) {
 		t.Errorf("misses = %d, want 30", len(misses))
 	}
 }
+
+func TestASBLiveGauges(t *testing.T) {
+	// The atomic gauge mirrors must track cand and the overflow
+	// occupancy through admissions, demotions, overflow hits and Reset.
+	s := buildStore(t, uniformPages(40, 1))
+	pol := core.NewASB(10, core.DefaultASBOptions())
+	if got, want := pol.LiveCandidateSize(), pol.CandidateSize(); got != want {
+		t.Fatalf("initial live candidate = %d, want %d", got, want)
+	}
+	if pol.LiveOverflowLen() != 0 {
+		t.Fatalf("initial live overflow = %d, want 0", pol.LiveOverflowLen())
+	}
+	m, err := buffer.NewManager(s, pol, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		id := page.ID(rng.Intn(40) + 1)
+		if _, err := m.Get(id, buffer.AccessContext{QueryID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := pol.LiveCandidateSize(), pol.CandidateSize(); got != want {
+			t.Fatalf("step %d: live candidate %d != %d", i, got, want)
+		}
+		if got, want := pol.LiveOverflowLen(), pol.OverflowLen(); got != want {
+			t.Fatalf("step %d: live overflow %d != %d", i, got, want)
+		}
+	}
+	if pol.LiveOverflowLen() == 0 {
+		t.Error("expected a populated overflow buffer under churn")
+	}
+	pol.Reset()
+	if pol.LiveOverflowLen() != 0 || pol.LiveCandidateSize() != pol.CandidateSize() {
+		t.Errorf("after Reset: live gauges %d/%d", pol.LiveCandidateSize(), pol.LiveOverflowLen())
+	}
+}

@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The process-wide experiment observer: an optional sink that every
+// replay started by this package additionally feeds. It exists so a
+// live metrics service (internal/obs/live) can watch a benchmark run
+// without threading a sink through every call site.
+var (
+	observerMu sync.RWMutex
+	observer   obs.Sink
+)
+
+// SetObserver installs (or, with nil, removes) the process-wide
+// observer. Replays run in parallel worker goroutines, so the sink must
+// be concurrency-safe (obs.Counters, live.Service.Sink and
+// live.AsyncSink are; obs.JSONLSink is not — wrap it in an AsyncSink).
+// Takes effect for replays started after the call.
+func SetObserver(s obs.Sink) {
+	observerMu.Lock()
+	observer = s
+	observerMu.Unlock()
+}
+
+// currentObserver returns the installed observer, or nil.
+func currentObserver() obs.Sink {
+	observerMu.RLock()
+	defer observerMu.RUnlock()
+	return observer
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObserverSeesRunAndAdaptation checks that an installed process-wide
+// observer receives the events of both the parallel sweep and the
+// adaptation run, and that removing it restores unobserved replays.
+func TestObserverSeesRunAndAdaptation(t *testing.T) {
+	db := tinyDB(t, 1)
+	factories, err := factoriesByName("LRU", "ASB")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var c obs.Counters
+	SetObserver(&c)
+	defer SetObserver(nil)
+
+	sw, err := Run(db, []string{"U-P"}, factories, []float64{0.047}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	// Both replays feed the same observer: two policies over one trace.
+	if want := uint64(2 * sw.Refs["U-P"]); snap.Requests != want {
+		t.Errorf("observer saw %d requests, want %d", snap.Requests, want)
+	}
+	if snap.Evictions == 0 {
+		t.Error("observer saw no evictions")
+	}
+
+	// RunAdaptation tees the observer with its trajectory recorder; the
+	// recorder must keep working and the observer must see the Adapts.
+	before := c.Snapshot().Adaptations
+	at, err := RunAdaptation(db, LargestFrac, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at.Sizes) == 0 {
+		t.Fatal("adaptation trace empty")
+	}
+	if got := c.Snapshot().Adaptations - before; got != uint64(len(at.Sizes)) {
+		t.Errorf("observer saw %d adaptations, recorder saw %d", got, len(at.Sizes))
+	}
+
+	SetObserver(nil)
+	prev := c.Snapshot().Requests
+	if _, err := Run(db, []string{"U-P"}, factories[:1], []float64{0.047}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Requests; got != prev {
+		t.Errorf("detached observer still saw events (%d -> %d)", prev, got)
+	}
+}

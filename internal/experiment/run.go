@@ -101,7 +101,13 @@ func Run(db *Database, setNames []string, factories []core.Factory, fracs []floa
 					return
 				}
 				j := jobs[i]
-				stats, err := trace.Replay(j.tr, db.Store, j.f.New(j.frames), j.frames)
+				var stats buffer.Stats
+				var err error
+				if o := currentObserver(); o != nil {
+					stats, err = trace.ReplayWithSink(j.tr, db.Store, j.f.New(j.frames), j.frames, o)
+				} else {
+					stats, err = trace.Replay(j.tr, db.Store, j.f.New(j.frames), j.frames)
+				}
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("experiment: %s/%s/%.3f: %w",
@@ -233,7 +239,11 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 	// recorder counts Request events for the reference index and samples
 	// the size at every Adapt event.
 	rec := obs.NewTrajectoryRecorder()
-	m.SetSink(rec)
+	if o := currentObserver(); o != nil {
+		m.SetSink(obs.Tee(rec, o))
+	} else {
+		m.SetSink(rec)
+	}
 	// One continuous run over the three phases (no clearing in between:
 	// the point is to watch the buffer adapt to the changing profile).
 	queryOffset := uint64(0)

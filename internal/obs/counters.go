@@ -1,15 +1,65 @@
 package obs
 
 import (
-	"fmt"
+	"encoding/json"
+	"strconv"
 	"sync/atomic"
 )
+
+// Eviction-reason counter slots. The reasons are a closed set of
+// constants (see obs.go); unknown strings share the trailing "other"
+// slot so a misbehaving policy cannot grow the counter set unboundedly.
+const (
+	reasonSlotLRU = iota
+	reasonSlotFIFO
+	reasonSlotPriority
+	reasonSlotSLRU
+	reasonSlotSpatial
+	reasonSlotLRUK
+	reasonSlotASBOverflow
+	reasonSlotASBMain
+	reasonSlotOther
+	numReasonSlots
+)
+
+// reasonSlotNames are the exposition labels, indexed by slot.
+var reasonSlotNames = [numReasonSlots]string{
+	ReasonLRU, ReasonFIFO, ReasonPriority, ReasonSLRU,
+	ReasonSpatial, ReasonLRUK, ReasonASBOverflow, ReasonASBMain,
+	"other",
+}
+
+// reasonSlot maps an eviction reason to its counter slot.
+func reasonSlot(r string) int {
+	switch r {
+	case ReasonLRU:
+		return reasonSlotLRU
+	case ReasonFIFO:
+		return reasonSlotFIFO
+	case ReasonPriority:
+		return reasonSlotPriority
+	case ReasonSLRU:
+		return reasonSlotSLRU
+	case ReasonSpatial:
+		return reasonSlotSpatial
+	case ReasonLRUK:
+		return reasonSlotLRUK
+	case ReasonASBOverflow:
+		return reasonSlotASBOverflow
+	case ReasonASBMain:
+		return reasonSlotASBMain
+	}
+	return reasonSlotOther
+}
 
 // Counters is a concurrency-safe event aggregator: plain atomic
 // counters, cheap enough to leave attached in production. It implements
 // Sink and may be shared by several producers (e.g. one Counters behind
 // a buffer.SyncManager serving many goroutines, or one per shard summed
-// at scrape time).
+// at scrape time). Its Snapshot is the single source of truth for both
+// the expvar-style JSON (String, /vars) and the Prometheus exposition
+// (/metrics): everything either exporter publishes about the event
+// stream lives here.
 type Counters struct {
 	requests    atomic.Uint64
 	hits        atomic.Uint64
@@ -20,6 +70,16 @@ type Counters struct {
 	// candLast is the most recent ASB candidate-set size observed via
 	// Adapt events (0 until the first event).
 	candLast atomic.Uint64
+
+	// byReason counts evictions per reason slot.
+	byReason [numReasonSlots]atomic.Uint64
+	// Adapt events split by direction of the candidate-size change.
+	adaptGrow   atomic.Uint64
+	adaptShrink atomic.Uint64
+	adaptHold   atomic.Uint64
+	// dropped counts events an async sink discarded under backpressure
+	// (fed by live.AsyncSink through AddDropped).
+	dropped atomic.Uint64
 }
 
 // Request implements Sink.
@@ -33,7 +93,10 @@ func (c *Counters) Request(e RequestEvent) {
 }
 
 // Eviction implements Sink.
-func (c *Counters) Eviction(EvictionEvent) { c.evictions.Add(1) }
+func (c *Counters) Eviction(e EvictionEvent) {
+	c.evictions.Add(1)
+	c.byReason[reasonSlot(e.Reason)].Add(1)
+}
 
 // OverflowPromotion implements Sink.
 func (c *Counters) OverflowPromotion(OverflowPromotionEvent) { c.promotions.Add(1) }
@@ -42,10 +105,70 @@ func (c *Counters) OverflowPromotion(OverflowPromotionEvent) { c.promotions.Add(
 func (c *Counters) Adapt(e AdaptEvent) {
 	c.adaptations.Add(1)
 	c.candLast.Store(uint64(e.NewC))
+	switch {
+	case e.NewC > e.OldC:
+		c.adaptGrow.Add(1)
+	case e.NewC < e.OldC:
+		c.adaptShrink.Add(1)
+	default:
+		c.adaptHold.Add(1)
+	}
+}
+
+// AddDropped records n events discarded before reaching this aggregator
+// (ring-sink backpressure). Exposed so the drop count appears in the
+// same snapshot as the counts it qualifies.
+func (c *Counters) AddDropped(n uint64) { c.dropped.Add(n) }
+
+// EvictionsByReason holds per-reason eviction counts, indexed by the
+// reason slots above. The array (not a map) keeps Snapshot comparable
+// and allocation-free to copy.
+type EvictionsByReason [numReasonSlots]uint64
+
+// Each calls f for every reason with a nonzero count, in the fixed slot
+// order — the deterministic iteration both exporters rely on.
+func (e EvictionsByReason) Each(f func(reason string, count uint64)) {
+	for i, n := range e {
+		if n > 0 {
+			f(reasonSlotNames[i], n)
+		}
+	}
+}
+
+// MarshalJSON renders the nonzero counts as an object keyed by reason,
+// in slot order.
+func (e EvictionsByReason) MarshalJSON() ([]byte, error) {
+	buf := []byte{'{'}
+	first := true
+	e.Each(func(reason string, count uint64) {
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = strconv.AppendQuote(buf, reason)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, count, 10)
+	})
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON reverses MarshalJSON so snapshots round-trip through
+// JSON (e.g. a /vars consumer decoding into Snapshot). Unknown reasons
+// land in the "other" slot.
+func (e *EvictionsByReason) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*e = EvictionsByReason{}
+	for reason, count := range m {
+		e[reasonSlot(reason)] += count
+	}
+	return nil
 }
 
 // Snapshot is a point-in-time copy of the counters, JSON-marshalable in
-// the expvar style.
+// the expvar style. It stays a comparable value type.
 type Snapshot struct {
 	Requests    uint64 `json:"requests"`
 	Hits        uint64 `json:"hits"`
@@ -54,6 +177,12 @@ type Snapshot struct {
 	Promotions  uint64 `json:"overflow_promotions"`
 	Adaptations uint64 `json:"adaptations"`
 	Candidate   uint64 `json:"candidate_size"`
+
+	ByReason    EvictionsByReason `json:"evictions_by_reason"`
+	AdaptGrow   uint64            `json:"adapt_grow"`
+	AdaptShrink uint64            `json:"adapt_shrink"`
+	AdaptHold   uint64            `json:"adapt_hold"`
+	Dropped     uint64            `json:"dropped_events"`
 }
 
 // HitRatio returns Hits/Requests, or 0 for an unused buffer.
@@ -68,7 +197,7 @@ func (s Snapshot) HitRatio() float64 {
 // concurrent producers the fields are individually, not mutually,
 // consistent — the usual expvar contract.
 func (c *Counters) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Requests:    c.requests.Load(),
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
@@ -76,14 +205,30 @@ func (c *Counters) Snapshot() Snapshot {
 		Promotions:  c.promotions.Load(),
 		Adaptations: c.adaptations.Load(),
 		Candidate:   c.candLast.Load(),
+		AdaptGrow:   c.adaptGrow.Load(),
+		AdaptShrink: c.adaptShrink.Load(),
+		AdaptHold:   c.adaptHold.Load(),
+		Dropped:     c.dropped.Load(),
 	}
+	for i := range c.byReason {
+		s.ByReason[i] = c.byReason[i].Load()
+	}
+	return s
 }
 
 // String renders the snapshot as a single JSON object (expvar.Var
-// compatible), so a Counters can be published with expvar.Publish.
+// compatible), so a Counters can be published with expvar.Publish. The
+// fields match /vars and /metrics exactly — one source of truth.
 func (c *Counters) String() string {
 	s := c.Snapshot()
-	return fmt.Sprintf(
-		`{"requests": %d, "hits": %d, "misses": %d, "evictions": %d, "overflow_promotions": %d, "adaptations": %d, "candidate_size": %d, "hit_ratio": %.6f}`,
-		s.Requests, s.Hits, s.Misses, s.Evictions, s.Promotions, s.Adaptations, s.Candidate, s.HitRatio())
+	b, err := json.Marshal(struct {
+		Snapshot
+		HitRatio float64 `json:"hit_ratio"`
+	}{s, s.HitRatio()})
+	if err != nil {
+		// Snapshot contains only integers and a fixed-size array; Marshal
+		// cannot fail. Keep the expvar contract anyway.
+		return "{}"
+	}
+	return string(b)
 }

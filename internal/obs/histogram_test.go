@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketLayout(t *testing.T) {
+	// Buckets must tile the value space contiguously: every value maps to
+	// a bucket whose [low, high] range contains it, and consecutive
+	// buckets touch.
+	for idx := 0; idx < histBuckets; idx++ {
+		low, high := histBucketLow(idx), histBucketHigh(idx)
+		if low > high {
+			t.Fatalf("bucket %d: low %d > high %d", idx, low, high)
+		}
+		if got := histBucketIndex(low); got != idx {
+			t.Fatalf("bucket %d: low %d maps to bucket %d", idx, low, got)
+		}
+		if got := histBucketIndex(high); got != idx {
+			t.Fatalf("bucket %d: high %d maps to bucket %d", idx, high, got)
+		}
+		if idx > 0 && histBucketHigh(idx-1)+1 != low {
+			t.Fatalf("gap between bucket %d (high %d) and %d (low %d)",
+				idx-1, histBucketHigh(idx-1), idx, low)
+		}
+	}
+	if got := histBucketIndex(math.MaxInt64); got != histBuckets-1 {
+		t.Errorf("MaxInt64 maps to bucket %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 values 1..1000: quantiles are known up to the 12.5% bucket
+	// resolution.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 500500 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500}, {0.95, 950}, {0.99, 990}, {1.0, 1000},
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.want*0.85 || got > tc.want*1.15 {
+			t.Errorf("q%.2f = %.0f, want within 15%% of %.0f", tc.q, got, tc.want)
+		}
+	}
+	if s.Mean() < 480 || s.Mean() > 520 {
+		t.Errorf("mean = %f, want ≈500.5", s.Mean())
+	}
+	if max := s.Max(); max < 1000 {
+		t.Errorf("max = %d, want ≥ 1000", max)
+	}
+
+	// CountAtMost is monotone and bracketed by the true CDF at bucket
+	// edges.
+	prev := uint64(0)
+	for _, v := range []int64{0, 1, 10, 100, 500, 1000, 1 << 20} {
+		c := s.CountAtMost(v)
+		if c < prev {
+			t.Fatalf("CountAtMost(%d) = %d < previous %d (not monotone)", v, c, prev)
+		}
+		if c > 1000 {
+			t.Fatalf("CountAtMost(%d) = %d > count", v, c)
+		}
+		prev = c
+	}
+	if s.CountAtMost(1<<20) != 1000 {
+		t.Errorf("CountAtMost above max = %d, want 1000", s.CountAtMost(1<<20))
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Error("empty snapshot should report zeros")
+	}
+	h.Observe(-5) // clamped to 0
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("negative observation quantile = %f, want 0", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < 100; v++ {
+		a.Observe(v)
+		b.Observe(v + 100)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 200 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if q := m.Quantile(0.5); q < 80 || q > 120 {
+		t.Errorf("merged median = %f, want ≈100", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	total := s.CountAtMost(math.MaxInt64)
+	if total != goroutines*per {
+		t.Errorf("bucket sum = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestHistogramImplementsLatencyRecorder(t *testing.T) {
+	var h Histogram
+	var lr LatencyRecorder = &h
+	lr.RecordLatency(42)
+	if h.Count() != 1 {
+		t.Error("RecordLatency did not observe")
+	}
+}

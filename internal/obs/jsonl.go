@@ -133,6 +133,10 @@ func (s *JSONLSink) Adapt(e AdaptEvent) {
 
 // Mark writes an out-of-band marker line (e.g. a run or phase boundary),
 // so one stream can carry several labeled runs. The label is escaped.
+// Mark flushes the buffered writer: combination boundaries are rare and
+// load-bearing, so a reader tailing a live events file observes them
+// (and everything before them) promptly instead of waiting for the 64 KiB
+// buffer to fill.
 func (s *JSONLSink) Mark(label string) {
 	b := s.buf[:0]
 	b = append(b, `{"t":"mark","label":`...)
@@ -140,4 +144,7 @@ func (s *JSONLSink) Mark(label string) {
 	b = append(b, '}')
 	s.buf = b
 	s.emit()
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
 }

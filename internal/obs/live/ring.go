@@ -1,0 +1,206 @@
+// Package live turns the offline event stream of package obs into a
+// serving-grade metrics layer: an asynchronous bounded sink that
+// decouples event consumers from the request path, and an HTTP service
+// exposing Prometheus metrics, an expvar-style JSON snapshot, a health
+// probe, an SSE stream of ASB adaptation events and a minimal dashboard.
+//
+// The overhead contract extends the one in package obs: with NopSink the
+// hot path stays allocation-free; with an AsyncSink in front of an
+// expensive consumer (JSONL encoding, network export) the hot path pays
+// one non-blocking buffered-channel send per event — O(1), never waiting
+// on I/O — and saturation is surfaced as an explicit drop count instead
+// of backpressure.
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// eventKind discriminates the ring's event union.
+type eventKind uint8
+
+const (
+	kindRequest eventKind = iota
+	kindEviction
+	kindPromotion
+	kindAdapt
+	numKinds
+)
+
+// ringEvent is the fixed-size union carried by the ring. Carrying the
+// event structs by value keeps the producer side allocation-free.
+type ringEvent struct {
+	kind  eventKind
+	req   obs.RequestEvent
+	evict obs.EvictionEvent
+	prom  obs.OverflowPromotionEvent
+	adapt obs.AdaptEvent
+}
+
+// AsyncSink is a fixed-capacity multi-producer, single-consumer ring
+// between event producers (the buffer manager and its policy, possibly
+// many goroutines behind a SyncManager) and one downstream sink drained
+// by a dedicated goroutine. Producers never block: when the ring is
+// full, the event is dropped and counted. The downstream sink is only
+// ever touched by the drainer goroutine, so single-goroutine sinks
+// (JSONLSink, WindowTracker) become safe behind an AsyncSink.
+//
+// Close drains the ring, stops the goroutine and flushes/closes the
+// downstream sink if it supports it. Producers must stop emitting before
+// Close is called (detach the sink from the manager first); events
+// emitted after Close are dropped and counted, not delivered.
+type AsyncSink struct {
+	ch   chan ringEvent
+	down obs.Sink
+
+	closed    atomic.Bool
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	byKind    [numKinds]atomic.Uint64
+
+	// dropHook, when set, is invoked with 1 for every dropped event —
+	// typically obs.(*Counters).AddDropped, so the drop count appears in
+	// the same snapshot as the counters it qualifies.
+	dropHook func(n uint64)
+}
+
+// DefaultRingCapacity is the AsyncSink capacity used when the caller
+// passes capacity ≤ 0: large enough to ride out multi-millisecond
+// downstream stalls at millions of events per second, small enough to
+// bound memory to a few MiB.
+const DefaultRingCapacity = 16384
+
+// NewAsyncSink starts the drainer goroutine over a ring of the given
+// capacity (≤ 0 selects DefaultRingCapacity) in front of down. dropHook
+// may be nil; see AsyncSink.
+func NewAsyncSink(down obs.Sink, capacity int, dropHook func(n uint64)) *AsyncSink {
+	if down == nil {
+		down = obs.NopSink{}
+	}
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	s := &AsyncSink{
+		ch:       make(chan ringEvent, capacity),
+		down:     down,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		dropHook: dropHook,
+	}
+	go s.drain()
+	return s
+}
+
+// drain dispatches ring events to the downstream sink until Close, then
+// empties what is left in the ring.
+func (s *AsyncSink) drain() {
+	defer close(s.done)
+	for {
+		select {
+		case e := <-s.ch:
+			s.dispatch(e)
+		case <-s.quit:
+			for {
+				select {
+				case e := <-s.ch:
+					s.dispatch(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *AsyncSink) dispatch(e ringEvent) {
+	switch e.kind {
+	case kindRequest:
+		s.down.Request(e.req)
+	case kindEviction:
+		s.down.Eviction(e.evict)
+	case kindPromotion:
+		s.down.OverflowPromotion(e.prom)
+	case kindAdapt:
+		s.down.Adapt(e.adapt)
+	}
+	s.delivered.Add(1)
+}
+
+// send enqueues without blocking, counting a drop when the ring is full
+// or the sink closed.
+func (s *AsyncSink) send(e ringEvent) {
+	if s.closed.Load() {
+		s.drop(e.kind)
+		return
+	}
+	select {
+	case s.ch <- e:
+	default:
+		s.drop(e.kind)
+	}
+}
+
+func (s *AsyncSink) drop(k eventKind) {
+	s.dropped.Add(1)
+	s.byKind[k].Add(1)
+	if s.dropHook != nil {
+		s.dropHook(1)
+	}
+}
+
+// Request implements obs.Sink.
+func (s *AsyncSink) Request(e obs.RequestEvent) {
+	s.send(ringEvent{kind: kindRequest, req: e})
+}
+
+// Eviction implements obs.Sink.
+func (s *AsyncSink) Eviction(e obs.EvictionEvent) {
+	s.send(ringEvent{kind: kindEviction, evict: e})
+}
+
+// OverflowPromotion implements obs.Sink.
+func (s *AsyncSink) OverflowPromotion(e obs.OverflowPromotionEvent) {
+	s.send(ringEvent{kind: kindPromotion, prom: e})
+}
+
+// Adapt implements obs.Sink.
+func (s *AsyncSink) Adapt(e obs.AdaptEvent) {
+	s.send(ringEvent{kind: kindAdapt, adapt: e})
+}
+
+// Delivered returns how many events reached the downstream sink.
+func (s *AsyncSink) Delivered() uint64 { return s.delivered.Load() }
+
+// Dropped returns how many events were discarded because the ring was
+// full (or the sink closed).
+func (s *AsyncSink) Dropped() uint64 { return s.dropped.Load() }
+
+// DroppedRequests returns the Request-event share of Dropped — the count
+// that matters for interpreting sampled capture files.
+func (s *AsyncSink) DroppedRequests() uint64 { return s.byKind[kindRequest].Load() }
+
+// Close drains remaining events, stops the drainer and flushes (and, if
+// owned, closes) the downstream sink. Idempotent; returns the first
+// downstream finalization error. Producers must be detached first.
+func (s *AsyncSink) Close() error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.quit)
+		<-s.done
+		switch d := s.down.(type) {
+		case interface{ Close() error }:
+			s.closeErr = d.Close()
+		case interface{ Flush() error }:
+			s.closeErr = d.Flush()
+		}
+	})
+	return s.closeErr
+}

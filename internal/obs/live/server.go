@@ -1,0 +1,433 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// critScale converts the float64 spatial criterion into the fixed-point
+// int64 domain of obs.Histogram (nano-units, matching the precision the
+// JSONL export carries).
+const critScale = 1e9
+
+// ASBGauges is the slice of core.ASB the live layer reads for gauges:
+// the atomic mirrors of the candidate-set size and overflow occupancy
+// plus the static part capacities. Defined here (not in core) so the
+// live layer stays policy-agnostic — any adaptive policy exposing these
+// becomes scrapeable.
+type ASBGauges interface {
+	LiveCandidateSize() int
+	LiveOverflowLen() int
+	OverflowCapacity() int
+	MainCapacity() int
+}
+
+// Gauge is a named instantaneous value scraped at request time. Value
+// must be safe to call from any goroutine.
+type Gauge struct {
+	Name  string
+	Help  string
+	Value func() float64
+}
+
+// Service aggregates the live metrics of one buffer stack — exact
+// counters, a request-latency histogram, an eviction-criterion histogram
+// and an Adapt-event broadcaster — and serves them over HTTP:
+//
+//	/metrics       Prometheus text exposition format
+//	/vars          expvar-style JSON snapshot (same numbers as /metrics)
+//	/healthz       liveness probe
+//	/events/ctraj  server-sent events: live ASB candidate-size trajectory
+//	/              minimal self-contained HTML dashboard
+//
+// Attach Sink() to a manager (or tee it with capture sinks); the sink is
+// concurrency-safe and implements obs.LatencyRecorder, so the manager
+// times requests into the latency histogram.
+type Service struct {
+	Counters  *obs.Counters
+	Latency   *obs.Histogram
+	Criterion *obs.Histogram
+	Traj      *Broadcaster
+
+	mu     sync.Mutex
+	gauges []Gauge
+	named  map[string]bool
+}
+
+// NewService returns a Service with fresh aggregators.
+func NewService() *Service {
+	return &Service{
+		Counters:  &obs.Counters{},
+		Latency:   &obs.Histogram{},
+		Criterion: &obs.Histogram{},
+		Traj:      NewBroadcaster(),
+		named:     make(map[string]bool),
+	}
+}
+
+// serviceSink fans events into the service's aggregators. A value type:
+// attaching it costs one interface allocation once, never per event.
+type serviceSink struct{ s *Service }
+
+func (ss serviceSink) Request(e obs.RequestEvent) {
+	ss.s.Counters.Request(e)
+	ss.s.Traj.Request(e)
+}
+
+func (ss serviceSink) Eviction(e obs.EvictionEvent) {
+	ss.s.Counters.Eviction(e)
+	ss.s.Criterion.Observe(int64(e.Criterion*critScale + 0.5))
+}
+
+func (ss serviceSink) OverflowPromotion(e obs.OverflowPromotionEvent) {
+	ss.s.Counters.OverflowPromotion(e)
+}
+
+func (ss serviceSink) Adapt(e obs.AdaptEvent) {
+	ss.s.Counters.Adapt(e)
+	ss.s.Traj.Adapt(e)
+}
+
+// RecordLatency implements obs.LatencyRecorder.
+func (ss serviceSink) RecordLatency(nanos int64) { ss.s.Latency.Observe(nanos) }
+
+// Sink returns the concurrency-safe sink feeding this service.
+func (s *Service) Sink() obs.Sink { return serviceSink{s} }
+
+// AddGauge registers an instantaneous value for /metrics and /vars.
+// Registering a name twice replaces the earlier gauge.
+func (s *Service) AddGauge(name, help string, value func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.named[name] {
+		for i := range s.gauges {
+			if s.gauges[i].Name == name {
+				s.gauges[i].Help = help
+				s.gauges[i].Value = value
+				return
+			}
+		}
+	}
+	s.named[name] = true
+	s.gauges = append(s.gauges, Gauge{Name: name, Help: help, Value: value})
+}
+
+// AddASBGauges registers the standard gauge set of an adaptable spatial
+// buffer (candidate size, overflow occupancy and capacities).
+func (s *Service) AddASBGauges(p ASBGauges) {
+	s.AddGauge("spatialbuf_asb_candidate_size", "Current ASB candidate-set size c.",
+		func() float64 { return float64(p.LiveCandidateSize()) })
+	s.AddGauge("spatialbuf_asb_overflow_pages", "Pages currently in the ASB overflow buffer.",
+		func() float64 { return float64(p.LiveOverflowLen()) })
+	s.AddGauge("spatialbuf_asb_overflow_capacity_pages", "Capacity of the ASB overflow buffer.",
+		func() float64 { return float64(p.OverflowCapacity()) })
+	s.AddGauge("spatialbuf_asb_main_capacity_pages", "Capacity of the ASB main part.",
+		func() float64 { return float64(p.MainCapacity()) })
+}
+
+// gaugeSnapshot copies the registered gauges under the lock and samples
+// their values outside it.
+func (s *Service) gaugeSnapshot() []struct {
+	Name, Help string
+	Value      float64
+} {
+	s.mu.Lock()
+	gs := make([]Gauge, len(s.gauges))
+	copy(gs, s.gauges)
+	s.mu.Unlock()
+	out := make([]struct {
+		Name, Help string
+		Value      float64
+	}, len(gs))
+	for i, g := range gs {
+		out[i].Name, out[i].Help, out[i].Value = g.Name, g.Help, g.Value()
+	}
+	return out
+}
+
+func (s *Service) hasGauge(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.named[name]
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/vars", s.handleVars)
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/events/ctraj", s.handleCTraj)
+	mux.HandleFunc("/", s.handleDashboard)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// latencyBounds is the ladder of Prometheus histogram upper bounds, in
+// nanoseconds (exposed in seconds). Spans cache hits (~100ns) through
+// multi-second stalls.
+var latencyBounds = []int64{
+	250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 10_000_000,
+	100_000_000, 1_000_000_000,
+}
+
+// quantiles reported for summaries.
+var summaryQs = []float64{0.5, 0.9, 0.95, 0.99}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c := s.Counters.Snapshot()
+	lat := s.Latency.Snapshot()
+	crit := s.Criterion.Snapshot()
+
+	var b []byte
+	metric := func(name, help, typ string) {
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, typ...)
+		b = append(b, '\n')
+	}
+	sample := func(name, labels string, v float64) {
+		b = append(b, name...)
+		if labels != "" {
+			b = append(b, '{')
+			b = append(b, labels...)
+			b = append(b, '}')
+		}
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		b = append(b, '\n')
+	}
+	count := func(name, labels string, v uint64) { sample(name, labels, float64(v)) }
+
+	metric("spatialbuf_requests_total", "Read-path buffer requests.", "counter")
+	count("spatialbuf_requests_total", "", c.Requests)
+	metric("spatialbuf_hits_total", "Buffer hits.", "counter")
+	count("spatialbuf_hits_total", "", c.Hits)
+	metric("spatialbuf_misses_total", "Buffer misses (physical reads).", "counter")
+	count("spatialbuf_misses_total", "", c.Misses)
+	metric("spatialbuf_hit_ratio", "Cumulative hit ratio.", "gauge")
+	sample("spatialbuf_hit_ratio", "", c.HitRatio())
+
+	metric("spatialbuf_evictions_total", "Pages evicted, by policy reason.", "counter")
+	c.ByReason.Each(func(reason string, n uint64) {
+		count("spatialbuf_evictions_total", `reason="`+reason+`"`, n)
+	})
+	metric("spatialbuf_overflow_promotions_total", "ASB overflow hits promoted back to the main part.", "counter")
+	count("spatialbuf_overflow_promotions_total", "", c.Promotions)
+	metric("spatialbuf_adaptations_total", "ASB adaptation events, by direction of the candidate-size change.", "counter")
+	count("spatialbuf_adaptations_total", `direction="grow"`, c.AdaptGrow)
+	count("spatialbuf_adaptations_total", `direction="shrink"`, c.AdaptShrink)
+	count("spatialbuf_adaptations_total", `direction="hold"`, c.AdaptHold)
+	metric("spatialbuf_events_dropped_total", "Observability events dropped by the async ring sink.", "counter")
+	count("spatialbuf_events_dropped_total", "", c.Dropped)
+	if !s.hasGauge("spatialbuf_asb_candidate_size") {
+		metric("spatialbuf_asb_candidate_size", "ASB candidate-set size after the most recent adaptation event.", "gauge")
+		count("spatialbuf_asb_candidate_size", "", c.Candidate)
+	}
+
+	metric("spatialbuf_request_latency_seconds", "Per-request buffer latency.", "histogram")
+	for _, bound := range latencyBounds {
+		sample("spatialbuf_request_latency_seconds_bucket",
+			`le="`+strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)+`"`,
+			float64(lat.CountAtMost(bound)))
+	}
+	count("spatialbuf_request_latency_seconds_bucket", `le="+Inf"`, lat.Count)
+	sample("spatialbuf_request_latency_seconds_sum", "", float64(lat.Sum)/1e9)
+	count("spatialbuf_request_latency_seconds_count", "", lat.Count)
+
+	metric("spatialbuf_request_latency_quantile_seconds", "Request-latency quantiles estimated from the log-bucketed histogram.", "gauge")
+	for _, q := range summaryQs {
+		sample("spatialbuf_request_latency_quantile_seconds",
+			`quantile="`+strconv.FormatFloat(q, 'g', -1, 64)+`"`, lat.Quantile(q)/1e9)
+	}
+
+	metric("spatialbuf_eviction_criterion", "Spatial criterion of evicted pages.", "summary")
+	for _, q := range summaryQs {
+		sample("spatialbuf_eviction_criterion",
+			`quantile="`+strconv.FormatFloat(q, 'g', -1, 64)+`"`, crit.Quantile(q)/critScale)
+	}
+	sample("spatialbuf_eviction_criterion_sum", "", float64(crit.Sum)/critScale)
+	count("spatialbuf_eviction_criterion_count", "", crit.Count)
+
+	for _, g := range s.gaugeSnapshot() {
+		metric(g.Name, g.Help, "gauge")
+		sample(g.Name, "", g.Value)
+	}
+	w.Write(b)
+}
+
+// varsPayload is the /vars JSON document.
+type varsPayload struct {
+	Counters obs.Snapshot       `json:"counters"`
+	HitRatio float64            `json:"hit_ratio"`
+	Latency  histVars           `json:"latency_ns"`
+	Crit     histVars           `json:"eviction_criterion"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+type histVars struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func histVarsOf(s obs.HistSnapshot, scale float64) histVars {
+	return histVars{
+		Count: s.Count,
+		Mean:  s.Mean() / scale,
+		P50:   s.Quantile(0.5) / scale,
+		P90:   s.Quantile(0.9) / scale,
+		P95:   s.Quantile(0.95) / scale,
+		P99:   s.Quantile(0.99) / scale,
+	}
+}
+
+func (s *Service) handleVars(w http.ResponseWriter, _ *http.Request) {
+	c := s.Counters.Snapshot()
+	p := varsPayload{
+		Counters: c,
+		HitRatio: c.HitRatio(),
+		Latency:  histVarsOf(s.Latency.Snapshot(), 1),
+		Crit:     histVarsOf(s.Criterion.Snapshot(), critScale),
+		Gauges:   make(map[string]float64),
+	}
+	for _, g := range s.gaugeSnapshot() {
+		p.Gauges[g.Name] = g.Value
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+// handleCTraj streams Adapt events as server-sent events, one JSON
+// sample per event, until the client disconnects.
+func (s *Service) handleCTraj(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprintf(w, "retry: 2000\n\n")
+	fl.Flush()
+
+	ch, cancel := s.Traj.Subscribe(256)
+	defer cancel()
+	for {
+		select {
+		case sample, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(sample)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+// dashboardHTML is the self-contained live dashboard: it polls /vars for
+// the counter table and follows /events/ctraj for the candidate-size
+// sparkline. No external assets, so it works on an air-gapped bench box.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>spatial-buffer live</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.5rem; }
+table { border-collapse: collapse; }
+td, th { padding: .15rem .8rem .15rem 0; text-align: left; font-variant-numeric: tabular-nums; }
+svg { border: 1px solid #ccc; background: #fafafa; }
+code { background: #f0f0f0; padding: 0 .3em; }
+#drops { color: #b00; }
+</style>
+</head>
+<body>
+<h1>spatial-buffer live metrics</h1>
+<p>Endpoints: <code>/metrics</code> (Prometheus), <code>/vars</code> (JSON), <code>/healthz</code>, <code>/events/ctraj</code> (SSE).</p>
+<h2>Counters</h2>
+<table id="counters"></table>
+<h2>Request latency</h2>
+<table id="latency"></table>
+<h2>ASB candidate-size trajectory (live)</h2>
+<svg id="ctraj" width="640" height="160" viewBox="0 0 640 160" preserveAspectRatio="none"></svg>
+<p id="ctrajinfo">waiting for adaptation events…</p>
+<script>
+const fmt = (v) => typeof v === "number" && !Number.isInteger(v) ? v.toPrecision(5) : v;
+function renderTable(el, obj) {
+  el.innerHTML = Object.entries(obj)
+    .map(([k, v]) => "<tr><th>" + k + "</th><td>" +
+      (typeof v === "object" && v !== null ? JSON.stringify(v) : fmt(v)) + "</td></tr>")
+    .join("");
+}
+async function poll() {
+  try {
+    const r = await fetch("/vars");
+    const v = await r.json();
+    renderTable(document.getElementById("counters"),
+      Object.assign({}, v.counters, {hit_ratio: v.hit_ratio}, v.gauges));
+    renderTable(document.getElementById("latency"), v.latency_ns);
+  } catch (e) { /* server restarting; keep polling */ }
+}
+setInterval(poll, 1000); poll();
+
+const pts = [];
+const es = new EventSource("/events/ctraj");
+es.onmessage = (m) => {
+  const s = JSON.parse(m.data);
+  pts.push(s);
+  if (pts.length > 640) pts.shift();
+  const ys = pts.map(p => p.new);
+  const max = Math.max(...ys, 1);
+  const path = ys.map((y, i) =>
+    (i ? "L" : "M") + (i * 640 / Math.max(pts.length - 1, 1)).toFixed(1) +
+    " " + (150 - 140 * y / max).toFixed(1)).join(" ");
+  document.getElementById("ctraj").innerHTML =
+    '<path d="' + path + '" fill="none" stroke="#06c" stroke-width="1.5"/>';
+  document.getElementById("ctrajinfo").textContent =
+    "c = " + s.new + " after " + s.ref + " requests (" + pts.length + " samples shown, max " + max + ")";
+};
+</script>
+</body>
+</html>
+`

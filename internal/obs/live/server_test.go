@@ -1,0 +1,289 @@
+package live_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+)
+
+// feedService pushes a small, known event mix through the service sink.
+func feedService(t *testing.T, svc *live.Service) {
+	t.Helper()
+	sink := svc.Sink()
+	lr, ok := sink.(obs.LatencyRecorder)
+	if !ok {
+		t.Fatal("service sink must implement obs.LatencyRecorder")
+	}
+	for i := 0; i < 10; i++ {
+		sink.Request(obs.RequestEvent{Page: 1, Hit: i%2 == 0})
+		lr.RecordLatency(int64(1000 * (i + 1)))
+	}
+	sink.Eviction(obs.EvictionEvent{Page: 2, Reason: obs.ReasonSLRU, Criterion: 0.25})
+	sink.Eviction(obs.EvictionEvent{Page: 3, Reason: obs.ReasonASBOverflow, Criterion: 0.75})
+	sink.OverflowPromotion(obs.OverflowPromotionEvent{Page: 4})
+	sink.Adapt(obs.AdaptEvent{OldC: 3, NewC: 4})
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	svc := live.NewService()
+	feedService(t, svc)
+	svc.AddGauge("spatialbuf_resident_pages", "Frames in use.", func() float64 { return 7 })
+
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"spatialbuf_requests_total 10",
+		"spatialbuf_hits_total 5",
+		"spatialbuf_hit_ratio 0.5",
+		`spatialbuf_evictions_total{reason="slru"} 1`,
+		`spatialbuf_evictions_total{reason="asb-overflow"} 1`,
+		"spatialbuf_overflow_promotions_total 1",
+		`spatialbuf_adaptations_total{direction="grow"} 1`,
+		"spatialbuf_events_dropped_total 0",
+		"spatialbuf_asb_candidate_size 4",
+		`spatialbuf_request_latency_seconds_bucket{le="+Inf"} 10`,
+		"spatialbuf_request_latency_seconds_count 10",
+		`spatialbuf_request_latency_quantile_seconds{quantile="0.5"}`,
+		`spatialbuf_eviction_criterion{quantile="0.99"}`,
+		"spatialbuf_eviction_criterion_count 2",
+		"spatialbuf_resident_pages 7",
+		"# TYPE spatialbuf_request_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Every exposed sample must have a HELP and TYPE header, and the
+	// latency histogram buckets must be cumulative (monotone in le).
+	var prev float64
+	var buckets int
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "spatialbuf_request_latency_seconds_bucket{le=") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not monotone at %q (prev %g)", line, prev)
+		}
+		prev = v
+		buckets++
+	}
+	if buckets < 10 {
+		t.Errorf("only %d latency buckets exposed", buckets)
+	}
+	for _, name := range []string{"spatialbuf_requests_total", "spatialbuf_evictions_total", "spatialbuf_resident_pages"} {
+		if !strings.Contains(body, "# HELP "+name+" ") || !strings.Contains(body, "# TYPE "+name+" ") {
+			t.Errorf("missing HELP/TYPE for %s", name)
+		}
+	}
+}
+
+func TestMetricsPrefersLiveASBGauge(t *testing.T) {
+	svc := live.NewService()
+	feedService(t, svc)
+	svc.AddASBGauges(stubASB{cand: 9, over: 2, overCap: 5, mainCap: 20})
+
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	body := get(t, ts.URL+"/metrics")
+
+	// The live gauge (9) wins over the counters-derived value (4), and
+	// the series must not be emitted twice.
+	if !strings.Contains(body, "spatialbuf_asb_candidate_size 9") {
+		t.Error("live candidate gauge not exposed")
+	}
+	if strings.Contains(body, "spatialbuf_asb_candidate_size 4") {
+		t.Error("counters-derived candidate gauge duplicates the live one")
+	}
+	if n := strings.Count(body, "# TYPE spatialbuf_asb_candidate_size gauge"); n != 1 {
+		t.Errorf("candidate_size TYPE emitted %d times", n)
+	}
+	for _, want := range []string{
+		"spatialbuf_asb_overflow_pages 2",
+		"spatialbuf_asb_overflow_capacity_pages 5",
+		"spatialbuf_asb_main_capacity_pages 20",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+type stubASB struct{ cand, over, overCap, mainCap int }
+
+func (s stubASB) LiveCandidateSize() int { return s.cand }
+func (s stubASB) LiveOverflowLen() int   { return s.over }
+func (s stubASB) OverflowCapacity() int  { return s.overCap }
+func (s stubASB) MainCapacity() int      { return s.mainCap }
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(raw)
+}
+
+func TestVarsAndHealthz(t *testing.T) {
+	svc := live.NewService()
+	feedService(t, svc)
+	svc.AddGauge("spatialbuf_resident_pages", "Frames in use.", func() float64 { return 7 })
+
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if body := get(t, ts.URL+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz body = %q", body)
+	}
+
+	var v struct {
+		Counters obs.Snapshot `json:"counters"`
+		HitRatio float64      `json:"hit_ratio"`
+		Latency  struct {
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50"`
+			P99   float64 `json:"p99"`
+		} `json:"latency_ns"`
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/vars")), &v); err != nil {
+		t.Fatalf("/vars is not valid JSON: %v", err)
+	}
+	if v.Counters.Requests != 10 || v.Counters.Hits != 5 {
+		t.Errorf("counters = %+v", v.Counters)
+	}
+	if v.HitRatio != 0.5 {
+		t.Errorf("hit_ratio = %g", v.HitRatio)
+	}
+	if v.Latency.Count != 10 || v.Latency.P50 <= 0 || v.Latency.P99 < v.Latency.P50 {
+		t.Errorf("latency vars = %+v", v.Latency)
+	}
+	if v.Gauges["spatialbuf_resident_pages"] != 7 {
+		t.Errorf("gauges = %v", v.Gauges)
+	}
+}
+
+func TestDashboardServed(t *testing.T) {
+	svc := live.NewService()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body := get(t, ts.URL+"/")
+	if !strings.Contains(body, "<title>spatial-buffer live</title>") ||
+		!strings.Contains(body, "/events/ctraj") {
+		t.Error("dashboard HTML incomplete")
+	}
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCTrajSSEStreamsAdaptEvents(t *testing.T) {
+	svc := live.NewService()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/events/ctraj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Wait until the handler has subscribed, then emit events.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Traj.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sink := svc.Sink()
+	for i := 0; i < 3; i++ {
+		sink.Request(obs.RequestEvent{Page: 1})
+	}
+	sink.Adapt(obs.AdaptEvent{OldC: 3, NewC: 5})
+
+	scanner := bufio.NewScanner(resp.Body)
+	var sample live.CTrajSample
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sample); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		break
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := live.CTrajSample{Ref: 3, OldC: 3, NewC: 5}
+	if sample != want {
+		t.Errorf("SSE sample = %+v, want %+v", sample, want)
+	}
+}
+
+func TestAddGaugeReplaces(t *testing.T) {
+	svc := live.NewService()
+	svc.AddGauge("g", "first", func() float64 { return 1 })
+	svc.AddGauge("g", "second", func() float64 { return 2 })
+
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "# HELP g second") || !strings.Contains(body, "\ng 2\n") {
+		t.Error("re-registered gauge did not replace the original")
+	}
+	if strings.Contains(body, "\ng 1\n") {
+		t.Error("stale gauge value still exposed")
+	}
+}

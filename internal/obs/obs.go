@@ -99,6 +99,16 @@ type SinkSetter interface {
 	SetSink(Sink)
 }
 
+// LatencyRecorder is the optional sink extension for wall-clock request
+// timings. The simulation core is counting-based and never times
+// requests; but when the attached sink implements LatencyRecorder, the
+// buffer manager brackets each request with a monotonic-clock reading
+// and publishes the elapsed nanoseconds here. Histogram and
+// WindowTracker implement it; Tee propagates it when any member does.
+type LatencyRecorder interface {
+	RecordLatency(nanos int64)
+}
+
 // NopSink discards all events. It is the default sink of every producer;
 // its calls compile to nothing and add no allocations.
 type NopSink struct{}
@@ -165,9 +175,25 @@ func (m multiSink) Adapt(e AdaptEvent) {
 	}
 }
 
+// timedMultiSink is a multiSink whose members include at least one
+// LatencyRecorder; it forwards RecordLatency to those members so that a
+// Tee of (histogram, jsonl, …) still receives request timings.
+type timedMultiSink struct {
+	multiSink
+	timers []LatencyRecorder
+}
+
+func (t timedMultiSink) RecordLatency(nanos int64) {
+	for _, lr := range t.timers {
+		lr.RecordLatency(nanos)
+	}
+}
+
 // Tee returns a sink that forwards every event to all the given sinks in
 // order. Nil entries and NopSinks are dropped; Tee of zero remaining
-// sinks is a NopSink, of one is that sink itself.
+// sinks is a NopSink, of one is that sink itself. If any kept sink
+// implements LatencyRecorder, the returned sink does too (forwarding to
+// exactly those members), so request timing survives fan-out.
 func Tee(sinks ...Sink) Sink {
 	var kept multiSink
 	for _, s := range sinks {
@@ -184,6 +210,15 @@ func Tee(sinks ...Sink) Sink {
 		return NopSink{}
 	case 1:
 		return kept[0]
+	}
+	var timers []LatencyRecorder
+	for _, s := range kept {
+		if lr, ok := s.(LatencyRecorder); ok {
+			timers = append(timers, lr)
+		}
+	}
+	if len(timers) > 0 {
+		return timedMultiSink{multiSink: kept, timers: timers}
 	}
 	return kept
 }

@@ -63,12 +63,24 @@ func TestCountersAggregate(t *testing.T) {
 	c.Request(RequestEvent{Hit: true})
 	c.Request(RequestEvent{Hit: true})
 	c.Request(RequestEvent{Hit: false})
-	c.Eviction(EvictionEvent{})
+	c.Eviction(EvictionEvent{Reason: ReasonSLRU})
+	c.Eviction(EvictionEvent{Reason: ReasonASBOverflow})
+	c.Eviction(EvictionEvent{Reason: "made-up"})
 	c.OverflowPromotion(OverflowPromotionEvent{})
 	c.Adapt(AdaptEvent{OldC: 5, NewC: 7})
+	c.Adapt(AdaptEvent{OldC: 7, NewC: 6})
+	c.Adapt(AdaptEvent{OldC: 6, NewC: 6})
+	c.AddDropped(4)
 
 	s := c.Snapshot()
-	want := Snapshot{Requests: 3, Hits: 2, Misses: 1, Evictions: 1, Promotions: 1, Adaptations: 1, Candidate: 7}
+	want := Snapshot{
+		Requests: 3, Hits: 2, Misses: 1, Evictions: 3, Promotions: 1,
+		Adaptations: 3, Candidate: 6,
+		AdaptGrow: 1, AdaptShrink: 1, AdaptHold: 1, Dropped: 4,
+	}
+	want.ByReason[reasonSlot(ReasonSLRU)] = 1
+	want.ByReason[reasonSlot(ReasonASBOverflow)] = 1
+	want.ByReason[reasonSlotOther] = 1
 	if s != want {
 		t.Errorf("snapshot = %+v, want %+v", s, want)
 	}
@@ -79,13 +91,27 @@ func TestCountersAggregate(t *testing.T) {
 		t.Error("empty snapshot hit ratio should be 0")
 	}
 
-	// String must be valid JSON (expvar contract).
+	// String must be valid JSON (expvar contract) and carry the same
+	// fields as the /vars and /metrics exporters.
 	var decoded map[string]any
 	if err := json.Unmarshal([]byte(c.String()), &decoded); err != nil {
 		t.Fatalf("String() is not valid JSON: %v\n%s", err, c.String())
 	}
 	if decoded["requests"].(float64) != 3 {
 		t.Errorf("String() requests = %v, want 3", decoded["requests"])
+	}
+	if decoded["dropped_events"].(float64) != 4 {
+		t.Errorf("String() dropped_events = %v, want 4", decoded["dropped_events"])
+	}
+	if decoded["adapt_shrink"].(float64) != 1 {
+		t.Errorf("String() adapt_shrink = %v, want 1", decoded["adapt_shrink"])
+	}
+	byReason, ok := decoded["evictions_by_reason"].(map[string]any)
+	if !ok || byReason[ReasonSLRU].(float64) != 1 || byReason["other"].(float64) != 1 {
+		t.Errorf("String() evictions_by_reason = %v", decoded["evictions_by_reason"])
+	}
+	if _, present := byReason[ReasonLRU]; present {
+		t.Error("zero-count reasons should be omitted from the JSON object")
 	}
 }
 
