@@ -2,8 +2,11 @@
 // serves its live metrics over HTTP. It builds one of the synthetic
 // databases, records the page-reference trace of a query set, and then
 // replays that trace in a loop from several worker goroutines through a
-// shared, mutex-protected buffer — a steady-state workload to watch
-// through /metrics, /vars and the dashboard.
+// shared buffer pool — by default a page-hashed sharded pool with one
+// shard per CPU (-shards 1 falls back to the single mutex-protected
+// SyncManager) — a steady-state workload to watch through /metrics,
+// /vars and the dashboard. With shards > 1, /metrics additionally
+// exposes per-shard residency and ASB gauges labeled shard="i".
 //
 // Start it and look around:
 //
@@ -53,6 +56,7 @@ type config struct {
 	policy   string
 	frac     float64
 	workers  int
+	shards   int
 	duration time.Duration
 	loops    int
 	rate     int
@@ -71,6 +75,7 @@ func main() {
 	flag.StringVar(&cfg.policy, "policy", "ASB", "replacement policy")
 	flag.Float64Var(&cfg.frac, "frac", experiment.LargestFrac, "buffer size as a fraction of the database")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "concurrent replay goroutines")
+	flag.IntVar(&cfg.shards, "shards", runtime.GOMAXPROCS(0), "buffer pool shards (1 = single mutex-protected pool)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0 = run until signalled)")
 	flag.IntVar(&cfg.loops, "loops", 0, "trace replays per worker (0 = unbounded)")
 	flag.IntVar(&cfg.rate, "rate", 0, "approximate total requests/second across workers (0 = unthrottled)")
@@ -127,22 +132,53 @@ func run(cfg config) error {
 		return err
 	}
 	frames := db.Frames(cfg.frac)
-	pol := fac.New(frames)
-	m, err := buffer.NewManager(db.Store, pol, frames)
-	if err != nil {
-		return err
+	shards := cfg.shards
+	if shards < 1 {
+		shards = 1
 	}
-	sm := buffer.NewSyncManager(m)
-
-	if asb, ok := pol.(live.ASBGauges); ok {
-		svc.AddASBGauges(asb)
+	var pool buffer.Pool
+	if shards == 1 {
+		pol := fac.New(frames)
+		m, err := buffer.NewManager(db.Store, pol, frames)
+		if err != nil {
+			return err
+		}
+		pool = buffer.NewSyncManager(m)
+		if asb, ok := pol.(live.ASBGauges); ok {
+			svc.AddASBGauges(asb)
+		}
+	} else {
+		sp, err := buffer.NewShardedPool(db.Store, fac.New, frames, shards)
+		if err != nil {
+			return err
+		}
+		pool = sp
+		shards = sp.Shards() // may have been clamped for tiny buffers
+		var asbParts []live.ASBGauges
+		for i := 0; i < sp.Shards(); i++ {
+			svc.AddLabeledGauge("spatialbuf_shard_resident_pages",
+				fmt.Sprintf("shard=%q", fmt.Sprint(i)),
+				"Pages currently resident in this buffer shard.",
+				func() float64 { return float64(sp.ShardLen(i)) })
+			if asb, ok := sp.ShardPolicy(i).(live.ASBGauges); ok {
+				asbParts = append(asbParts, asb)
+				svc.AddShardASBGauges(i, asb)
+			}
+		}
+		if len(asbParts) > 0 {
+			// Pool-level aggregate under the standard names: candidate
+			// frames and overflow pages summed across the shards.
+			svc.AddASBGauges(live.SumASBGauges(asbParts...))
+		}
 	}
 	svc.AddGauge("spatialbuf_resident_pages", "Pages currently held in buffer frames.",
-		func() float64 { return float64(sm.Len()) })
+		func() float64 { return float64(pool.Len()) })
 	svc.AddGauge("spatialbuf_capacity_pages", "Total buffer capacity in frames.",
 		func() float64 { return float64(frames) })
 	svc.AddGauge("spatialbuf_workers", "Replay worker goroutines.",
 		func() float64 { return float64(cfg.workers) })
+	svc.AddGauge("spatialbuf_shards", "Buffer pool shards (1 = single mutex-protected pool).",
+		func() float64 { return float64(shards) })
 
 	sinks := []obs.Sink{svc.Sink()}
 	var async *live.AsyncSink
@@ -159,10 +195,10 @@ func run(cfg config) error {
 		async = live.NewAsyncSink(obs.NewSamplingSink(jsonl, cfg.sample), cfg.ring, svc.Counters.AddDropped)
 		sinks = append(sinks, async)
 	}
-	sm.SetSink(obs.Tee(sinks...))
+	pool.SetSink(obs.Tee(sinks...))
 
-	fmt.Printf("bufserve: %s, %d-page buffer (%s, %.1f%%), replaying %s (%d refs) on %d workers\n",
-		db.Name, frames, cfg.policy, cfg.frac*100, cfg.set, tr.Len(), cfg.workers)
+	fmt.Printf("bufserve: %s, %d-page buffer (%s, %.1f%%, %d shards), replaying %s (%d refs) on %d workers\n",
+		db.Name, frames, cfg.policy, cfg.frac*100, shards, cfg.set, tr.Len(), cfg.workers)
 
 	var wg sync.WaitGroup
 	var interval time.Duration
@@ -194,7 +230,7 @@ func run(cfg config) error {
 							return
 						}
 					}
-					if _, err := sm.Get(ref.Page, buffer.AccessContext{QueryID: base + ref.Query}); err != nil {
+					if _, err := pool.Get(ref.Page, buffer.AccessContext{QueryID: base + ref.Query}); err != nil {
 						fmt.Fprintf(os.Stderr, "bufserve: worker %d: %v\n", w, err)
 						return
 					}
@@ -218,7 +254,7 @@ func run(cfg config) error {
 
 	// Shutdown order matters: detach producers, then drain the ring,
 	// then stop serving (so a final scrape still sees the full counts).
-	sm.SetSink(nil)
+	pool.SetSink(nil)
 	if async != nil {
 		if err := async.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "bufserve: closing event sink: %v\n", err)

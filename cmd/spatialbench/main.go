@@ -43,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -65,6 +66,7 @@ type config struct {
 	window     int
 	ctraj      string
 	serve      string
+	shards     int
 }
 
 func main() {
@@ -83,6 +85,7 @@ func main() {
 	flag.IntVar(&cfg.window, "window", 0, "with -sets: print hit ratios over windows of N requests")
 	flag.StringVar(&cfg.ctraj, "ctraj", "", "run the Fig. 14 adaptation workload and write the c-trajectory CSV to this file")
 	flag.StringVar(&cfg.serve, "serve", "", "serve live metrics on this address (e.g. :8080) while the run executes")
+	flag.IntVar(&cfg.shards, "shards", 1, "with -events/-window: replay through a page-hashed sharded pool with this many shards (per-shard policy instances)")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -280,7 +283,7 @@ func adHoc(cfg config, opts experiment.Options, emit func([]*experiment.Table) e
 		return err
 	}
 	if cfg.events != "" || cfg.window > 0 {
-		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window)
+		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards)
 	}
 	return nil
 }
@@ -290,7 +293,12 @@ func adHoc(cfg config, opts experiment.Options, emit func([]*experiment.Table) e
 // event stream separated by "mark" lines, and/or a windowed hit-ratio
 // report. Kept separate from the parallel sweep so the measured tables
 // stay unperturbed and the event file has a deterministic order.
-func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int) error {
+//
+// The replays program against buffer.Pool: with shards > 1 each
+// combination runs through a page-hashed ShardedPool (one policy
+// instance per shard, events tagged with their shard), measuring the
+// partitioned variant of each policy instead of the monolithic one.
+func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int) error {
 	var jsonl *obs.JSONLSink
 	if eventsPath != "" {
 		f, err := os.Create(eventsPath)
@@ -323,7 +331,22 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 					wt = obs.NewWindowTracker(window, 1<<16)
 					sinks = append(sinks, wt)
 				}
-				if _, err := trace.ReplayWithSink(tr, db.Store, fac.New(frames), frames, obs.Tee(sinks...)); err != nil {
+				var pool buffer.Pool
+				if shards > 1 {
+					sp, err := buffer.NewShardedPool(db.Store, fac.New, frames, shards)
+					if err != nil {
+						return fmt.Errorf("instrumented replay %s: %w", label, err)
+					}
+					pool = sp
+				} else {
+					m, err := buffer.NewManager(db.Store, fac.New(frames), frames)
+					if err != nil {
+						return fmt.Errorf("instrumented replay %s: %w", label, err)
+					}
+					pool = m
+				}
+				pool.SetSink(obs.Tee(sinks...))
+				if _, err := trace.ReplayOn(tr, pool); err != nil {
 					return fmt.Errorf("instrumented replay %s: %w", label, err)
 				}
 				if wt != nil {

@@ -108,6 +108,18 @@ type Stats struct {
 	WriteBacks uint64
 }
 
+// Add accumulates o into s, field by field. It is the merge operation
+// behind ShardedPool.Stats: counters are additive, so the merge of the
+// per-shard snapshots equals the counters of the whole run.
+func (s *Stats) Add(o Stats) {
+	s.Requests += o.Requests
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Puts += o.Puts
+	s.WriteBacks += o.WriteBacks
+}
+
 // DiskReads returns the number of physical reads caused through the
 // buffer — the paper's cost metric for read-only workloads.
 func (s Stats) DiskReads() uint64 { return s.Misses }
@@ -271,14 +283,16 @@ func (m *Manager) serve(id page.ID, ctx AccessContext) (*Frame, error) {
 
 	m.stats.Misses++
 	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false})
+	// Read before evicting: a failed read must not discard a perfectly
+	// good cached page (or count an eviction) for a request that errored.
+	p, err := m.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
 	if len(m.frames) >= m.capacity {
 		if err := m.evictOne(ctx); err != nil {
 			return nil, err
 		}
-	}
-	p, err := m.store.Read(id)
-	if err != nil {
-		return nil, err
 	}
 	f := &Frame{Meta: p.Meta, Page: p, LastUse: now}
 	m.frames[id] = f

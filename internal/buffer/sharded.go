@@ -1,0 +1,276 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// ShardedPool partitions a buffer across N independent shards, each an
+// unexported Manager with its own replacement-policy instance behind its
+// own mutex. Requests hash page.ID to a shard, so goroutines touching
+// different shards never contend — the standard escape from the single
+// global lock of SyncManager on multi-core serving workloads.
+//
+// Semantics relative to one big Manager:
+//
+//   - Capacity is split across the shards (as evenly as page counts
+//     allow), and each policy instance is constructed by the
+//     PolicyFactory with its shard's capacity, so capacity-relative
+//     parameters (SLRU candidate sets, ASB overflow sizing) scale down
+//     per shard. ASB's self-tuning c adapts independently per shard:
+//     each shard sees an unbiased hash-sample of the reference stream,
+//     so the per-shard signals of §4.2 estimate the same workload
+//     property the global signal would.
+//   - Replacement decisions are local to a shard. A single-shard pool
+//     (Shards() == 1) is behaviourally identical to a bare Manager —
+//     the equivalence the tests pin down; with more shards the resident
+//     set partitions, which can change miss counts slightly (the classic
+//     partitioned-LRU approximation).
+//   - Stats() merges the per-shard counters with Stats.Add; the sums are
+//     exact because each counter is owned by exactly one shard.
+//
+// A ShardedPool is safe for concurrent use by any number of goroutines.
+// Sinks attached via SetSink receive the merged event stream of all
+// shards (each event tagged with its shard index via obs.TagShard) and
+// must therefore be safe for concurrent use, exactly as with
+// SyncManager.
+type ShardedPool struct {
+	shards   []*poolShard
+	capacity int
+}
+
+// poolShard is one partition: a Manager guarded by its own mutex. The
+// shards are separately heap-allocated, so two shards' hot mutexes never
+// share a cache line through this struct.
+type poolShard struct {
+	mu sync.Mutex
+	m  *Manager
+}
+
+// NewShardedPool builds a pool of the given total capacity (in frames)
+// over the store, with one policy instance per shard constructed by the
+// factory. shards is clamped to [1, capacity/2] so every shard owns at
+// least two frames (the minimum any standard policy accepts); pass
+// shards = 1 for a drop-in, lock-per-request equivalent of SyncManager.
+// The store is shared by all shards and must be safe for concurrent use.
+func NewShardedPool(store storage.Store, factory PolicyFactory, capacity, shards int) (*ShardedPool, error) {
+	if store == nil || factory == nil {
+		return nil, errors.New("buffer: nil store or policy factory")
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d, need ≥ 1", capacity)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if max := capacity / 2; shards > max {
+		shards = max
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	p := &ShardedPool{shards: make([]*poolShard, shards), capacity: capacity}
+	base, extra := capacity/shards, capacity%shards
+	for i := range p.shards {
+		shardCap := base
+		if i < extra {
+			shardCap++
+		}
+		pol := factory(shardCap)
+		if pol == nil {
+			return nil, fmt.Errorf("buffer: policy factory returned nil for shard %d", i)
+		}
+		m, err := NewManager(store, pol, shardCap)
+		if err != nil {
+			return nil, fmt.Errorf("buffer: shard %d: %w", i, err)
+		}
+		p.shards[i] = &poolShard{m: m}
+	}
+	return p, nil
+}
+
+// shardFor routes a page ID to its shard. The murmur3 finalizer mixes
+// the (often dense, sequential) page IDs so neighbouring tree nodes
+// spread across shards instead of piling onto one.
+func (p *ShardedPool) shardFor(id page.ID) *poolShard {
+	h := uint64(id)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return p.shards[h%uint64(len(p.shards))]
+}
+
+// Shards returns the number of shards (≥ 1; may be lower than requested
+// at construction when the capacity could not feed that many shards).
+func (p *ShardedPool) Shards() int { return len(p.shards) }
+
+// Capacity returns the total buffer capacity in frames (the sum of the
+// shard capacities).
+func (p *ShardedPool) Capacity() int { return p.capacity }
+
+// ShardCapacity returns the capacity of shard i in frames.
+func (p *ShardedPool) ShardCapacity(i int) int { return p.shards[i].m.Capacity() }
+
+// ShardPolicy returns shard i's replacement-policy instance. The policy
+// is driven under the shard's mutex, so while the pool is serving, only
+// accessors documented as concurrency-safe (e.g. core.ASB's atomic
+// gauge mirrors) may be called on it.
+func (p *ShardedPool) ShardPolicy(i int) Policy { return p.shards[i].m.Policy() }
+
+// ShardLen returns the number of pages resident in shard i.
+func (p *ShardedPool) ShardLen(i int) int {
+	sh := p.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Len()
+}
+
+// ShardStats returns a snapshot of shard i's counters.
+func (p *ShardedPool) ShardStats(i int) Stats {
+	sh := p.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Stats()
+}
+
+// Get implements Pool (and rtree.Reader): the request is served by the
+// page's shard under that shard's lock only.
+func (p *ShardedPool) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Get(id, ctx)
+}
+
+// Put implements Pool: the write path of the page's shard.
+func (p *ShardedPool) Put(pg *page.Page, ctx AccessContext) error {
+	if pg == nil || pg.ID == page.InvalidID {
+		return errors.New("buffer: put of invalid page")
+	}
+	sh := p.shardFor(pg.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Put(pg, ctx)
+}
+
+// Fix implements Pool: pins the page in its shard.
+func (p *ShardedPool) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Fix(id, ctx)
+}
+
+// Unfix implements Pool.
+func (p *ShardedPool) Unfix(id page.ID) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Unfix(id)
+}
+
+// MarkDirty implements Pool.
+func (p *ShardedPool) MarkDirty(id page.ID) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.MarkDirty(id)
+}
+
+// Contains reports whether the page is resident in its shard, without
+// counting a request.
+func (p *ShardedPool) Contains(id page.ID) bool {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.m.Contains(id)
+}
+
+// Flush writes back all dirty resident pages, shard by shard.
+func (p *ShardedPool) Flush() error {
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.m.Flush()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("buffer: flush shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clear evicts everything, resets every shard's policy and zeroes all
+// counters. Shards are cleared one at a time; concurrent requests
+// against not-yet-cleared shards proceed normally, so quiesce the pool
+// first when a globally cold start matters.
+func (p *ShardedPool) Clear() error {
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.m.Clear()
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("buffer: clear shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats returns the merge (Stats.Add) of the per-shard counters. Under
+// concurrent load the shards are snapshotted one after another, so the
+// merged values are per-shard consistent but not a single instant in
+// global time — the usual multi-counter scrape contract.
+func (p *ShardedPool) Stats() Stats {
+	var total Stats
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		s := sh.m.Stats()
+		sh.mu.Unlock()
+		total.Add(s)
+	}
+	return total
+}
+
+// Len returns the total number of resident pages across all shards.
+func (p *ShardedPool) Len() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.m.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ResidentIDs returns the IDs of all resident pages across all shards,
+// sorted (the per-shard order is unspecified, so sorting makes the
+// result deterministic for tests and diffing).
+func (p *ShardedPool) ResidentIDs() []page.ID {
+	var ids []page.ID
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		ids = append(ids, sh.m.ResidentIDs()...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SetSink attaches one observability sink to every shard, wrapped with
+// obs.TagShard so each event carries its shard index; Manager.SetSink
+// forwards the tagged sink to each shard's policy, so the whole sharded
+// stack emits into s. The sink receives events from all shards
+// concurrently and must be safe for concurrent use (obs.Counters, the
+// live service sink and the async ring are). A nil sink detaches.
+func (p *ShardedPool) SetSink(s obs.Sink) {
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		sh.m.SetSink(obs.TagShard(s, i))
+		sh.mu.Unlock()
+	}
+}

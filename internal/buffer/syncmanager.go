@@ -55,6 +55,20 @@ func (s *SyncManager) Unfix(id page.ID) error {
 	return s.m.Unfix(id)
 }
 
+// MarkDirty flags a resident page for write-back (see Manager.MarkDirty).
+func (s *SyncManager) MarkDirty(id page.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.MarkDirty(id)
+}
+
+// Contains reports whether the page is resident (see Manager.Contains).
+func (s *SyncManager) Contains(id page.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Contains(id)
+}
+
 // Flush writes back all dirty pages (see Manager.Flush).
 func (s *SyncManager) Flush() error {
 	s.mu.Lock()

@@ -24,6 +24,13 @@ import (
 	"repro/internal/page"
 )
 
+// PolicyFactory constructs a fresh policy sized for a buffer of the
+// given capacity (in frames). It is buffer.PolicyFactory re-exported
+// under the registry that populates it: every Factory.New is one, and
+// buffer.NewShardedPool calls it once per shard with the shard's
+// capacity so each shard gets a correctly scaled policy instance.
+type PolicyFactory = buffer.PolicyFactory
+
 // Factory constructs a fresh policy sized for a buffer of the given
 // capacity (in frames). Policies with capacity-relative parameters (SLRU's
 // candidate set, ASB's overflow buffer) derive them here.
@@ -31,7 +38,7 @@ type Factory struct {
 	// Name of the produced policy, e.g. "LRU-2" or "ASB".
 	Name string
 	// New builds a policy instance for a buffer of capacity frames.
-	New func(capacity int) buffer.Policy
+	New PolicyFactory
 }
 
 // StandardFactories returns the policies compared in the paper's

@@ -235,14 +235,17 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 	if err != nil {
 		return nil, err
 	}
+	// The rest of the run programs against the Pool interface — the
+	// harness measures policies, not a concrete pool flavour.
+	var pool buffer.Pool = m
 	// The candidate-set trajectory is captured from the event stream: the
 	// recorder counts Request events for the reference index and samples
 	// the size at every Adapt event.
 	rec := obs.NewTrajectoryRecorder()
 	if o := currentObserver(); o != nil {
-		m.SetSink(obs.Tee(rec, o))
+		pool.SetSink(obs.Tee(rec, o))
 	} else {
-		m.SetSink(rec)
+		pool.SetSink(rec)
 	}
 	// One continuous run over the three phases (no clearing in between:
 	// the point is to watch the buffer adapt to the changing profile).
@@ -250,7 +253,7 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 	for pi, tr := range traces {
 		maxQ := uint64(0)
 		for _, ref := range tr.Refs {
-			if _, err := m.Get(ref.Page, buffer.AccessContext{QueryID: queryOffset + ref.Query}); err != nil {
+			if _, err := pool.Get(ref.Page, buffer.AccessContext{QueryID: queryOffset + ref.Query}); err != nil {
 				return nil, err
 			}
 			if ref.Query > maxQ {

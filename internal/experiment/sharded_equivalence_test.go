@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestShardedReplayEquivalence replays a recorded reference string of a
+// real query set through a single-shard ShardedPool and through a bare
+// Manager: the pool interface must not change a single counter. This is
+// the end-to-end version of the unit-level equivalence tests — same
+// database build, same trace cache, same policies as the experiments.
+func TestShardedReplayEquivalence(t *testing.T) {
+	db := tinyDB(t, 1)
+	tr, err := db.Trace("U-P", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := db.Frames(0.01)
+
+	for _, name := range []string{"LRU", "SLRU 50%", "ASB"} {
+		f, err := core.FactoryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			m, err := buffer.NewManager(db.Store, f.New(frames), frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := trace.ReplayOn(tr, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sp, err := buffer.NewShardedPool(db.Store, f.New, frames, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := trace.ReplayOn(tr, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("stats diverged:\nmanager %+v\nsharded %+v", want, got)
+			}
+
+			wantSet := make(map[int64]bool)
+			for _, id := range m.ResidentIDs() {
+				wantSet[int64(id)] = true
+			}
+			resident := sp.ResidentIDs()
+			if len(resident) != len(wantSet) {
+				t.Fatalf("resident count: sharded %d, manager %d", len(resident), len(wantSet))
+			}
+			for _, id := range resident {
+				if !wantSet[int64(id)] {
+					t.Errorf("resident sets differ on page %d", id)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedReplayPartitioned replays the same trace through a
+// multi-shard pool: counters must stay internally consistent (every
+// reference accounted once) even though the partitioned resident set can
+// legitimately change the hit count relative to one big buffer.
+func TestShardedReplayPartitioned(t *testing.T) {
+	db := tinyDB(t, 1)
+	tr, err := db.Trace("U-P", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := db.Frames(0.01)
+	f, err := core.FactoryByName("ASB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := buffer.NewShardedPool(db.Store, f.New, frames, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.ReplayOn(tr, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != uint64(tr.Len()) {
+		t.Errorf("requests = %d, want %d", st.Requests, tr.Len())
+	}
+	if st.Hits+st.Misses != st.Requests {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	var merged buffer.Stats
+	for i := 0; i < sp.Shards(); i++ {
+		merged.Add(sp.ShardStats(i))
+	}
+	if merged != st {
+		t.Errorf("per-shard merge %+v != Stats() %+v", merged, st)
+	}
+	if sp.Len() > frames {
+		t.Errorf("capacity exceeded: %d > %d", sp.Len(), frames)
+	}
+}

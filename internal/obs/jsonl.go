@@ -19,6 +19,10 @@ import (
 //	{"t":"promote","page":7,"bs":2,"bl":5}
 //	{"t":"adapt","old":12,"new":13}
 //	{"t":"mark","label":"phase 2"}
+//
+// Events from a sharded pool additionally carry `,"shard":N` before the
+// closing brace; shard 0 (which includes every unsharded pool) is
+// omitted, so single-pool streams keep the exact format above.
 type JSONLSink struct {
 	w   *bufio.Writer
 	c   io.Closer // non-nil if the sink owns the underlying writer
@@ -66,6 +70,15 @@ func (s *JSONLSink) Close() error {
 	return err
 }
 
+// appendShard appends the optional shard field (omitted at zero).
+func appendShard(b []byte, shard int) []byte {
+	if shard == 0 {
+		return b
+	}
+	b = append(b, `,"shard":`...)
+	return strconv.AppendInt(b, int64(shard), 10)
+}
+
 // emit writes one completed line from s.buf.
 func (s *JSONLSink) emit() {
 	if s.err != nil {
@@ -84,6 +97,7 @@ func (s *JSONLSink) Request(e RequestEvent) {
 	b = strconv.AppendUint(b, e.QueryID, 10)
 	b = append(b, `,"hit":`...)
 	b = strconv.AppendBool(b, e.Hit)
+	b = appendShard(b, e.Shard)
 	b = append(b, '}')
 	s.buf = b
 	s.emit()
@@ -100,6 +114,7 @@ func (s *JSONLSink) Eviction(e EvictionEvent) {
 	b = strconv.AppendFloat(b, e.Criterion, 'g', -1, 64)
 	b = append(b, `,"rank":`...)
 	b = strconv.AppendInt(b, int64(e.LRURank), 10)
+	b = appendShard(b, e.Shard)
 	b = append(b, '}')
 	s.buf = b
 	s.emit()
@@ -114,6 +129,7 @@ func (s *JSONLSink) OverflowPromotion(e OverflowPromotionEvent) {
 	b = strconv.AppendInt(b, int64(e.BetterSpatial), 10)
 	b = append(b, `,"bl":`...)
 	b = strconv.AppendInt(b, int64(e.BetterLRU), 10)
+	b = appendShard(b, e.Shard)
 	b = append(b, '}')
 	s.buf = b
 	s.emit()
@@ -126,6 +142,7 @@ func (s *JSONLSink) Adapt(e AdaptEvent) {
 	b = strconv.AppendInt(b, int64(e.OldC), 10)
 	b = append(b, `,"new":`...)
 	b = strconv.AppendInt(b, int64(e.NewC), 10)
+	b = appendShard(b, e.Shard)
 	b = append(b, '}')
 	s.buf = b
 	s.emit()

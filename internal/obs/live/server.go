@@ -28,11 +28,23 @@ type ASBGauges interface {
 }
 
 // Gauge is a named instantaneous value scraped at request time. Value
-// must be safe to call from any goroutine.
+// must be safe to call from any goroutine. Labels is an optional
+// Prometheus label set rendered inside the braces (e.g. `shard="3"`);
+// several gauges may share a Name with distinct Labels, forming one
+// labeled metric family (the per-shard gauges of a sharded pool).
 type Gauge struct {
-	Name  string
-	Help  string
-	Value func() float64
+	Name   string
+	Labels string
+	Help   string
+	Value  func() float64
+}
+
+// key is the registry identity: one gauge per (name, label set).
+func (g Gauge) key() string {
+	if g.Labels == "" {
+		return g.Name
+	}
+	return g.Name + "{" + g.Labels + "}"
 }
 
 // Service aggregates the live metrics of one buffer stack — exact
@@ -102,19 +114,82 @@ func (s *Service) Sink() obs.Sink { return serviceSink{s} }
 // AddGauge registers an instantaneous value for /metrics and /vars.
 // Registering a name twice replaces the earlier gauge.
 func (s *Service) AddGauge(name, help string, value func() float64) {
+	s.AddLabeledGauge(name, "", help, value)
+}
+
+// AddLabeledGauge registers a gauge carrying a Prometheus label set
+// (e.g. `shard="0"`). Gauges sharing a name but differing in labels
+// coexist as one metric family; registering the same (name, labels)
+// pair twice replaces the earlier gauge.
+func (s *Service) AddLabeledGauge(name, labels, help string, value func() float64) {
+	g := Gauge{Name: name, Labels: labels, Help: help, Value: value}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.named[name] {
+	if s.named[g.key()] {
 		for i := range s.gauges {
-			if s.gauges[i].Name == name {
-				s.gauges[i].Help = help
-				s.gauges[i].Value = value
+			if s.gauges[i].key() == g.key() {
+				s.gauges[i] = g
 				return
 			}
 		}
 	}
-	s.named[name] = true
-	s.gauges = append(s.gauges, Gauge{Name: name, Help: help, Value: value})
+	s.named[g.key()] = true
+	s.gauges = append(s.gauges, g)
+}
+
+// summedASB aggregates the gauges of several per-shard adaptive policy
+// instances by summation: the total candidate frames, overflow pages
+// and part capacities across the pool. Summing is the right merge for
+// all four gauges because each underlying value counts frames owned by
+// exactly one shard.
+type summedASB []ASBGauges
+
+func (a summedASB) LiveCandidateSize() (n int) {
+	for _, p := range a {
+		n += p.LiveCandidateSize()
+	}
+	return n
+}
+
+func (a summedASB) LiveOverflowLen() (n int) {
+	for _, p := range a {
+		n += p.LiveOverflowLen()
+	}
+	return n
+}
+
+func (a summedASB) OverflowCapacity() (n int) {
+	for _, p := range a {
+		n += p.OverflowCapacity()
+	}
+	return n
+}
+
+func (a summedASB) MainCapacity() (n int) {
+	for _, p := range a {
+		n += p.MainCapacity()
+	}
+	return n
+}
+
+// SumASBGauges merges the gauges of several per-shard adaptive policy
+// instances into one pool-level ASBGauges by summing each value; pass
+// the result to AddASBGauges so a sharded pool exposes the same
+// aggregate metric names a single ASB does.
+func SumASBGauges(parts ...ASBGauges) ASBGauges { return summedASB(parts) }
+
+// AddShardASBGauges registers shard-labeled gauges for one shard's
+// adaptive policy: the live candidate size and overflow occupancy under
+// shard-qualified metric names (`spatialbuf_shard_asb_*{shard="i"}`),
+// so dashboards can watch the per-shard c trajectories diverge.
+func (s *Service) AddShardASBGauges(shard int, p ASBGauges) {
+	labels := `shard="` + strconv.Itoa(shard) + `"`
+	s.AddLabeledGauge("spatialbuf_shard_asb_candidate_size", labels,
+		"Per-shard ASB candidate-set size c.",
+		func() float64 { return float64(p.LiveCandidateSize()) })
+	s.AddLabeledGauge("spatialbuf_shard_asb_overflow_pages", labels,
+		"Per-shard pages in the ASB overflow buffer.",
+		func() float64 { return float64(p.LiveOverflowLen()) })
 }
 
 // AddASBGauges registers the standard gauge set of an adaptable spatial
@@ -130,22 +205,42 @@ func (s *Service) AddASBGauges(p ASBGauges) {
 		func() float64 { return float64(p.MainCapacity()) })
 }
 
+// gaugeSample is one scraped gauge value.
+type gaugeSample struct {
+	Name, Labels, Help string
+	Value              float64
+}
+
+// Key returns the exposition identity (name plus label set).
+func (g gaugeSample) Key() string {
+	if g.Labels == "" {
+		return g.Name
+	}
+	return g.Name + "{" + g.Labels + "}"
+}
+
 // gaugeSnapshot copies the registered gauges under the lock and samples
-// their values outside it.
-func (s *Service) gaugeSnapshot() []struct {
-	Name, Help string
-	Value      float64
-} {
+// their values outside it. Gauges sharing a name are grouped adjacently
+// (first-registration order within and across groups), as the
+// Prometheus exposition format requires for labeled families.
+func (s *Service) gaugeSnapshot() []gaugeSample {
 	s.mu.Lock()
 	gs := make([]Gauge, len(s.gauges))
 	copy(gs, s.gauges)
 	s.mu.Unlock()
-	out := make([]struct {
-		Name, Help string
-		Value      float64
-	}, len(gs))
-	for i, g := range gs {
-		out[i].Name, out[i].Help, out[i].Value = g.Name, g.Help, g.Value()
+	byName := make(map[string][]Gauge, len(gs))
+	var order []string
+	for _, g := range gs {
+		if _, seen := byName[g.Name]; !seen {
+			order = append(order, g.Name)
+		}
+		byName[g.Name] = append(byName[g.Name], g)
+	}
+	out := make([]gaugeSample, 0, len(gs))
+	for _, name := range order {
+		for _, g := range byName[name] {
+			out = append(out, gaugeSample{Name: g.Name, Labels: g.Labels, Help: g.Help, Value: g.Value()})
+		}
 	}
 	return out
 }
@@ -265,9 +360,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	sample("spatialbuf_eviction_criterion_sum", "", float64(crit.Sum)/critScale)
 	count("spatialbuf_eviction_criterion_count", "", crit.Count)
 
+	lastName := ""
 	for _, g := range s.gaugeSnapshot() {
-		metric(g.Name, g.Help, "gauge")
-		sample(g.Name, "", g.Value)
+		if g.Name != lastName {
+			metric(g.Name, g.Help, "gauge")
+			lastName = g.Name
+		}
+		sample(g.Name, g.Labels, g.Value)
 	}
 	w.Write(b)
 }
@@ -311,7 +410,7 @@ func (s *Service) handleVars(w http.ResponseWriter, _ *http.Request) {
 		Gauges:   make(map[string]float64),
 	}
 	for _, g := range s.gaugeSnapshot() {
-		p.Gauges[g.Name] = g.Value
+		p.Gauges[g.Key()] = g.Value
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)

@@ -28,11 +28,14 @@ package obs
 
 import "repro/internal/page"
 
-// RequestEvent describes one read-path buffer request.
+// RequestEvent describes one read-path buffer request. Shard is the
+// index of the pool shard that served the request; 0 for unsharded
+// pools (buffer.ShardedPool tags each shard's events through TagShard).
 type RequestEvent struct {
 	Page    page.ID
 	QueryID uint64
 	Hit     bool
+	Shard   int
 }
 
 // Eviction reasons. Constants rather than free-form strings so sinks can
@@ -59,6 +62,8 @@ type EvictionEvent struct {
 	Reason    string
 	Criterion float64
 	LRURank   int
+	// Shard is the pool shard the page left (0 for unsharded pools).
+	Shard int
 }
 
 // OverflowPromotionEvent describes an ASB overflow hit: the page is
@@ -69,6 +74,9 @@ type OverflowPromotionEvent struct {
 	Page          page.ID
 	BetterSpatial int
 	BetterLRU     int
+	// Shard is the pool shard whose overflow buffer hit (0 when
+	// unsharded).
+	Shard int
 }
 
 // AdaptEvent describes one adaptation event of the ASB candidate-set
@@ -78,6 +86,9 @@ type OverflowPromotionEvent struct {
 type AdaptEvent struct {
 	OldC int
 	NewC int
+	// Shard is the pool shard whose candidate size adapted (0 when
+	// unsharded). Each shard's ASB instance tunes its own c.
+	Shard int
 }
 
 // Sink receives buffer and policy events. Implementations must treat the
@@ -221,4 +232,51 @@ func Tee(sinks ...Sink) Sink {
 		return timedMultiSink{multiSink: kept, timers: timers}
 	}
 	return kept
+}
+
+// shardTagger stamps every event with a shard index before forwarding.
+// Events travel by value, so the rewrite never mutates sender state.
+type shardTagger struct {
+	next  Sink
+	shard int
+}
+
+func (t shardTagger) Request(e RequestEvent) { e.Shard = t.shard; t.next.Request(e) }
+
+func (t shardTagger) Eviction(e EvictionEvent) { e.Shard = t.shard; t.next.Eviction(e) }
+
+func (t shardTagger) OverflowPromotion(e OverflowPromotionEvent) {
+	e.Shard = t.shard
+	t.next.OverflowPromotion(e)
+}
+
+func (t shardTagger) Adapt(e AdaptEvent) { e.Shard = t.shard; t.next.Adapt(e) }
+
+// timedShardTagger is a shardTagger over a latency-recording sink; it
+// forwards timings unchanged so request timing survives the tagging.
+type timedShardTagger struct {
+	shardTagger
+	timer LatencyRecorder
+}
+
+func (t timedShardTagger) RecordLatency(nanos int64) { t.timer.RecordLatency(nanos) }
+
+// TagShard wraps a sink so every event it receives carries the given
+// shard index — buffer.ShardedPool attaches one per shard, so one shared
+// concurrency-safe sink (Counters, the live service, an async ring) sees
+// the merged stream with shard attribution. Nil and NopSink pass through
+// untouched (tagging a discarded event buys nothing); a sink that
+// implements LatencyRecorder keeps that capability through the wrapper.
+func TagShard(s Sink, shard int) Sink {
+	if s == nil {
+		return NopSink{}
+	}
+	if _, nop := s.(NopSink); nop {
+		return s
+	}
+	t := shardTagger{next: s, shard: shard}
+	if lr, ok := s.(LatencyRecorder); ok {
+		return timedShardTagger{shardTagger: t, timer: lr}
+	}
+	return t
 }

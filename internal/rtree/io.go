@@ -28,29 +28,31 @@ func (s storeIO) Read(id page.ID) (*page.Page, error) { return s.store.Read(id) 
 func (s storeIO) Write(p *page.Page) error            { return s.store.Write(p) }
 func (s storeIO) Allocate() page.ID                   { return s.store.Allocate() }
 
-// bufferedIO routes node reads through a buffer manager's read path and
+// bufferedIO routes node reads through a buffer pool's read path and
 // node writes through its write path (dirty pages are written back on
-// eviction), under a fixed access context.
+// eviction), under a fixed access context. Any buffer.Pool works: a
+// plain Manager for the single-threaded experiments, a SyncManager or
+// ShardedPool when the tree shares its buffer with concurrent readers.
 type bufferedIO struct {
-	m     *buffer.Manager
+	pool  buffer.Pool
 	store storage.Store
 	ctx   buffer.AccessContext
 }
 
-func (b bufferedIO) Read(id page.ID) (*page.Page, error) { return b.m.Get(id, b.ctx) }
-func (b bufferedIO) Write(p *page.Page) error            { return b.m.Put(p, b.ctx) }
+func (b bufferedIO) Read(id page.ID) (*page.Page, error) { return b.pool.Get(id, b.ctx) }
+func (b bufferedIO) Write(p *page.Page) error            { return b.pool.Put(p, b.ctx) }
 func (b bufferedIO) Allocate() page.ID                   { return b.store.Allocate() }
 
 // UseBuffer routes all subsequent mutation I/O (Insert, Delete) through
-// the buffer manager under the given context; queries already take their
+// the buffer pool under the given context; queries already take their
 // Reader explicitly. Call UnbufferedIO to restore direct store access.
-// The caller must Flush the manager before reading the tree through any
+// The caller must Flush the pool before reading the tree through any
 // other path.
-func (t *Tree) UseBuffer(m *buffer.Manager, ctx buffer.AccessContext) error {
-	if m == nil {
-		return fmt.Errorf("rtree: UseBuffer with nil manager")
+func (t *Tree) UseBuffer(pool buffer.Pool, ctx buffer.AccessContext) error {
+	if pool == nil {
+		return fmt.Errorf("rtree: UseBuffer with nil buffer pool")
 	}
-	t.io = bufferedIO{m: m, store: t.store, ctx: ctx}
+	t.io = bufferedIO{pool: pool, store: t.store, ctx: ctx}
 	return nil
 }
 

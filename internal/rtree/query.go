@@ -9,9 +9,11 @@ import (
 	"repro/internal/page"
 )
 
-// Reader supplies tree pages to queries. buffer.Manager implements it, so
-// queries can be routed through a buffer whose replacement policy is under
-// study; StoreReader bypasses buffering.
+// Reader supplies tree pages to queries. Every buffer.Pool (Manager,
+// SyncManager, ShardedPool) implements it, so queries can be routed
+// through a buffer whose replacement policy is under study — including
+// a shared concurrent pool serving many query goroutines; StoreReader
+// bypasses buffering.
 type Reader interface {
 	Get(id page.ID, ctx buffer.AccessContext) (*page.Page, error)
 }

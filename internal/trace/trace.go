@@ -87,33 +87,35 @@ func ReplayWithSink(tr *Trace, store storage.Store, pol buffer.Policy, capacity 
 	return ReplayOn(tr, m)
 }
 
-// ReplayOn replays the trace on an existing manager (which is cleared
-// first, as the paper clears the buffer before each query set).
-func ReplayOn(tr *Trace, m *buffer.Manager) (buffer.Stats, error) {
-	if err := m.Clear(); err != nil {
+// ReplayOn replays the trace on an existing buffer pool (which is
+// cleared first, as the paper clears the buffer before each query set).
+// Any buffer.Pool works: a Manager for the single-threaded experiments,
+// a ShardedPool to measure partitioned policies.
+func ReplayOn(tr *Trace, p buffer.Pool) (buffer.Stats, error) {
+	if err := p.Clear(); err != nil {
 		return buffer.Stats{}, err
 	}
 	for _, ref := range tr.Refs {
-		if _, err := m.Get(ref.Page, buffer.AccessContext{QueryID: ref.Query}); err != nil {
+		if _, err := p.Get(ref.Page, buffer.AccessContext{QueryID: ref.Query}); err != nil {
 			return buffer.Stats{}, fmt.Errorf("trace: replay %s: page %d: %w", tr.Name, ref.Page, err)
 		}
 	}
-	return m.Stats(), nil
+	return p.Stats(), nil
 }
 
 // RunLive executes the query set against the tree reading through the
-// given buffer manager — the non-trace path, used to validate replay
+// given buffer pool — the non-trace path, used to validate replay
 // equivalence and by the example programs.
-func RunLive(t *rtree.Tree, qs queryset.Set, m *buffer.Manager) (buffer.Stats, error) {
-	if err := m.Clear(); err != nil {
+func RunLive(t *rtree.Tree, qs queryset.Set, p buffer.Pool) (buffer.Stats, error) {
+	if err := p.Clear(); err != nil {
 		return buffer.Stats{}, err
 	}
 	for _, q := range qs.Queries {
 		ctx := buffer.AccessContext{QueryID: q.ID}
-		err := t.Search(m, ctx, q.Rect, func(page.Entry) bool { return true })
+		err := t.Search(p, ctx, q.Rect, func(page.Entry) bool { return true })
 		if err != nil {
 			return buffer.Stats{}, fmt.Errorf("trace: live %s query %d: %w", qs.Name, q.ID, err)
 		}
 	}
-	return m.Stats(), nil
+	return p.Stats(), nil
 }
