@@ -23,6 +23,15 @@
 // 1-in-N request sampling (-sample); ring overflow is dropped, counted
 // and exported as spatialbuf_events_dropped_total rather than ever
 // blocking the request path.
+//
+// Request-scoped tracing is on by default at 1-in-1024 sampling
+// (-trace-sample, 0 disables): sampled requests record a span tree
+// (Get → victim-select / asb-adapt / store.Read ...) into per-shard
+// rings of -trace-buf completed traces, served as Chrome trace-event
+// JSON (load in Perfetto) or JSONL at /debug/trace?n=100&format=chrome.
+// Tracing also enables the shard-contention profiler: per-shard lock
+// wait, queue depth and acquisition counts under
+// spatialbuf_shard_lock_* on /metrics.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/tracing"
 )
 
 type config struct {
@@ -63,6 +73,9 @@ type config struct {
 	events   string
 	sample   int
 	ring     int
+
+	traceSample int
+	traceBuf    int
 }
 
 func main() {
@@ -82,6 +95,8 @@ func main() {
 	flag.StringVar(&cfg.events, "events", "", "also capture the event stream as JSONL to this file")
 	flag.IntVar(&cfg.sample, "sample", 64, "with -events: keep 1 in N request events (evictions etc. always kept)")
 	flag.IntVar(&cfg.ring, "ring", live.DefaultRingCapacity, "with -events: async ring capacity in events")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "record a span trace for 1 in N requests, served at /debug/trace (0 = tracing off)")
+	flag.IntVar(&cfg.traceBuf, "trace-buf", 256, "completed traces retained per shard ring")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -99,9 +114,23 @@ func run(cfg config) error {
 		defer cancel()
 	}
 
+	// The tracer is sized by the flag-requested shard count before the
+	// pool exists so /debug/trace can be mounted before serving starts;
+	// a pool that clamps to fewer shards simply leaves trailing rings
+	// empty.
+	var tracer *tracing.Tracer
+	if cfg.traceSample > 0 {
+		rings := cfg.shards
+		if rings < 1 {
+			rings = 1
+		}
+		tracer = tracing.NewTracer(cfg.traceSample, rings, cfg.traceBuf)
+	}
+
 	svc := live.NewService()
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
+	mux.Handle("/debug/trace", tracing.Handler(tracer))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -171,6 +200,19 @@ func run(cfg config) error {
 			svc.AddASBGauges(live.SumASBGauges(asbParts...))
 		}
 	}
+	if tracer != nil {
+		cont := tracing.NewContention(shards)
+		switch p := pool.(type) {
+		case *buffer.SyncManager:
+			p.SetTracer(tracer)
+			p.EnableContention(cont)
+		case *buffer.ShardedPool:
+			p.SetTracer(tracer)
+			p.EnableContention(cont)
+		}
+		svc.AddContentionGauges(cont)
+		svc.AddTracerGauges(tracer)
+	}
 	svc.AddGauge("spatialbuf_resident_pages", "Pages currently held in buffer frames.",
 		func() float64 { return float64(pool.Len()) })
 	svc.AddGauge("spatialbuf_capacity_pages", "Total buffer capacity in frames.",
@@ -194,6 +236,7 @@ func run(cfg config) error {
 		// keeps the file size proportional to interesting events.
 		async = live.NewAsyncSink(obs.NewSamplingSink(jsonl, cfg.sample), cfg.ring, svc.Counters.AddDropped)
 		sinks = append(sinks, async)
+		svc.AddAsyncSinkGauges(async)
 	}
 	pool.SetSink(obs.Tee(sinks...))
 

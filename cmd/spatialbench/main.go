@@ -31,6 +31,13 @@
 // internal/obs/live (Prometheus /metrics, JSON /vars, /healthz, SSE
 // /events/ctraj, dashboard at /) and feeds it every replay the run
 // performs, so long sweeps can be watched while they execute.
+//
+// Request tracing: -trace-out FILE attaches a sampling span recorder
+// (1 in -trace-sample requests) to every replay the run performs and
+// writes the retained traces as Chrome trace-event JSON — load the
+// file in chrome://tracing or https://ui.perfetto.dev to see sampled
+// requests as nested Get → victim-select → store.Read span trees with
+// shard ids and ASB criterion values.
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/tracing"
 	"repro/internal/trace"
 )
 
@@ -67,6 +75,9 @@ type config struct {
 	ctraj      string
 	serve      string
 	shards     int
+
+	traceOut    string
+	traceSample int
 }
 
 func main() {
@@ -86,6 +97,8 @@ func main() {
 	flag.StringVar(&cfg.ctraj, "ctraj", "", "run the Fig. 14 adaptation workload and write the c-trajectory CSV to this file")
 	flag.StringVar(&cfg.serve, "serve", "", "serve live metrics on this address (e.g. :8080) while the run executes")
 	flag.IntVar(&cfg.shards, "shards", 1, "with -events/-window: replay through a page-hashed sharded pool with this many shards (per-shard policy instances)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "write request span traces as Chrome trace-event JSON to this file")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "with -trace-out: trace 1 in N buffer requests")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -110,6 +123,23 @@ func main() {
 
 func run(cfg config) error {
 	opts := experiment.Options{Objects: cfg.objects, Seed: cfg.seed}
+
+	var tracer *tracing.Tracer
+	if cfg.traceOut != "" {
+		sample := cfg.traceSample
+		if sample < 1 {
+			sample = 1
+		}
+		rings := cfg.shards
+		if rings < 1 {
+			rings = 1
+		}
+		// Offline runs keep a deep ring: the file is written once at the
+		// end, so retention is the only thing bounding what it can show.
+		tracer = tracing.NewTracer(sample, rings, 4096)
+		experiment.SetTracer(tracer)
+		defer experiment.SetTracer(nil)
+	}
 
 	if cfg.serve != "" {
 		// The listener is opened synchronously so a bad address fails the
@@ -152,7 +182,7 @@ func run(cfg config) error {
 	}
 
 	if cfg.sets != "" {
-		if err := adHoc(cfg, optsFor(cfg.dbNum), emit); err != nil {
+		if err := adHoc(cfg, optsFor(cfg.dbNum), tracer, emit); err != nil {
 			return err
 		}
 	}
@@ -190,6 +220,32 @@ func run(cfg config) error {
 			return err
 		}
 	}
+
+	if tracer != nil {
+		if err := writeTraces(tracer, cfg.traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTraces dumps everything the tracer retained as Chrome trace-event
+// JSON.
+func writeTraces(tracer *tracing.Tracer, path string) error {
+	traces := tracer.Traces(0)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracing.WriteChromeTrace(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d request traces (1 in %d of %d requests) to %s\n",
+		len(traces), tracer.SampleEvery(), tracer.Seen(), path)
 	return nil
 }
 
@@ -224,7 +280,7 @@ func writeCTrajectory(dbNum int, opts experiment.Options, seed int64, path strin
 // adHoc runs a custom sweep and prints one gain table per buffer
 // fraction. With -events or -window it additionally re-replays every
 // combination sequentially with observability sinks attached.
-func adHoc(cfg config, opts experiment.Options, emit func([]*experiment.Table) error) error {
+func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit func([]*experiment.Table) error) error {
 	db, err := experiment.Get(cfg.dbNum, opts)
 	if err != nil {
 		return err
@@ -283,7 +339,7 @@ func adHoc(cfg config, opts experiment.Options, emit func([]*experiment.Table) e
 		return err
 	}
 	if cfg.events != "" || cfg.window > 0 {
-		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards)
+		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards, tracer)
 	}
 	return nil
 }
@@ -298,7 +354,7 @@ func adHoc(cfg config, opts experiment.Options, emit func([]*experiment.Table) e
 // combination runs through a page-hashed ShardedPool (one policy
 // instance per shard, events tagged with their shard), measuring the
 // partitioned variant of each policy instead of the monolithic one.
-func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int) error {
+func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int, tracer *tracing.Tracer) error {
 	var jsonl *obs.JSONLSink
 	if eventsPath != "" {
 		f, err := os.Create(eventsPath)
@@ -346,6 +402,14 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 					pool = m
 				}
 				pool.SetSink(obs.Tee(sinks...))
+				if tracer != nil {
+					switch p := pool.(type) {
+					case *buffer.ShardedPool:
+						p.SetTracer(tracer)
+					case *buffer.Manager:
+						p.SetTracer(tracer, 0)
+					}
+				}
 				if _, err := trace.ReplayOn(tr, pool); err != nil {
 					return fmt.Errorf("instrumented replay %s: %w", label, err)
 				}

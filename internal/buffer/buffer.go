@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 	"repro/internal/storage"
 )
@@ -143,6 +144,11 @@ type Manager struct {
 	policy   Policy
 	capacity int
 
+	// io is the store the request path actually reads and writes: the raw
+	// store normally, or a storage.Traced wrapper around it while a tracer
+	// is attached (so physical I/O shows up as child spans).
+	io storage.Store
+
 	frames map[page.ID]*Frame
 	clock  uint64
 	stats  Stats
@@ -156,6 +162,20 @@ type Manager struct {
 	// the elapsed nanoseconds published. Latency-blind sinks (including
 	// NopSink) keep the hot path free of clock reads.
 	timer obs.LatencyRecorder
+
+	// tracer samples request-scoped span traces; nil when tracing is
+	// disabled (the request path then pays a single pointer test). shard
+	// is the pool-shard index stamped on every span this manager records.
+	tracer *tracing.Tracer
+	shard  int
+	// slot hands the current request's Active trace to the policy and the
+	// traced store; it is read and written only under the manager's
+	// serialization (its shard's lock in concurrent pools).
+	slot tracing.Slot
+	// pendingLockWait is the shard-lock wait of the request about to run,
+	// deposited by the enclosing concurrent pool after it acquired the
+	// lock and consumed (and cleared) by the next traced request.
+	pendingLockWait int64
 }
 
 // NewManager creates a buffer of the given capacity (in frames, ≥ 1) over
@@ -171,6 +191,7 @@ func NewManager(store storage.Store, policy Policy, capacity int) (*Manager, err
 		store:    store,
 		policy:   policy,
 		capacity: capacity,
+		io:       store,
 		frames:   make(map[page.ID]*Frame, capacity),
 		sink:     obs.NopSink{},
 	}, nil
@@ -191,6 +212,41 @@ func (m *Manager) SetSink(s obs.Sink) {
 		ss.SetSink(s)
 	}
 }
+
+// SetTracer attaches a request-scoped span tracer to the manager, to its
+// store (via a storage.Traced wrapper, so physical I/O appears as child
+// spans) and, if the policy implements tracing.SlotSetter, to the policy
+// (so victim selections and ASB adaptations appear as child spans) —
+// like SetSink, one call instruments the whole stack. shard is the pool
+// shard this manager serves (0 for an unsharded manager); it is stamped
+// on every span and selects the tracer's trace ring. A nil tracer
+// detaches everything.
+func (m *Manager) SetTracer(t *tracing.Tracer, shard int) {
+	m.tracer = t
+	m.shard = shard
+	m.pendingLockWait = 0
+	if t != nil {
+		m.io = storage.Traced(m.store, &m.slot)
+	} else {
+		m.io = m.store
+		m.slot.SetActive(nil)
+	}
+	if ss, ok := m.policy.(tracing.SlotSetter); ok {
+		if t != nil {
+			ss.SetTraceSlot(&m.slot)
+		} else {
+			ss.SetTraceSlot(nil)
+		}
+	}
+}
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+func (m *Manager) Tracer() *tracing.Tracer { return m.tracer }
+
+// depositLockWait records the shard-lock wait of the request about to
+// run; the next traced request attaches it to its root span. Called by
+// the concurrent pools after acquiring the shard lock.
+func (m *Manager) depositLockWait(ns int64) { m.pendingLockWait = ns }
 
 // Capacity returns the buffer capacity in frames.
 func (m *Manager) Capacity() int { return m.capacity }
@@ -214,7 +270,7 @@ func (m *Manager) Stats() Stats { return m.stats }
 // Get requests the page without pinning it. The returned page must be
 // treated as read-only and may be evicted by any later request.
 func (m *Manager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	f, err := m.request(id, ctx)
+	f, err := m.request(tracing.KindGet, id, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +280,7 @@ func (m *Manager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
 // Fix requests the page and pins its frame; the caller must Unfix it.
 // Pinned frames are never evicted.
 func (m *Manager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	f, err := m.request(id, ctx)
+	f, err := m.request(tracing.KindFix, id, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +312,26 @@ func (m *Manager) MarkDirty(id page.ID) error {
 }
 
 // request implements the hit/miss protocol, timing the request when the
-// sink asked for latencies.
-func (m *Manager) request(id page.ID, ctx AccessContext) (*Frame, error) {
+// sink asked for latencies and tracing it when a tracer sampled it.
+func (m *Manager) request(kind tracing.SpanKind, id page.ID, ctx AccessContext) (*Frame, error) {
+	if m.tracer != nil {
+		wait := m.pendingLockWait
+		m.pendingLockWait = 0
+		if a := m.tracer.StartRequest(kind, id, ctx.QueryID, m.shard, wait); a != nil {
+			m.slot.SetActive(a)
+			hitsBefore := m.stats.Hits
+			f, err := m.timedServe(id, ctx)
+			m.slot.SetActive(nil)
+			a.Finish(m.stats.Hits > hitsBefore, err != nil)
+			return f, err
+		}
+	}
+	return m.timedServe(id, ctx)
+}
+
+// timedServe brackets serve with latency timing when the sink asked for
+// it.
+func (m *Manager) timedServe(id page.ID, ctx AccessContext) (*Frame, error) {
 	if m.timer == nil {
 		return m.serve(id, ctx)
 	}
@@ -285,7 +359,7 @@ func (m *Manager) serve(id page.ID, ctx AccessContext) (*Frame, error) {
 	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false})
 	// Read before evicting: a failed read must not discard a perfectly
 	// good cached page (or count an eviction) for a request that errored.
-	p, err := m.store.Read(id)
+	p, err := m.io.Read(id)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +388,7 @@ func (m *Manager) evictOne(ctx AccessContext) error {
 		return fmt.Errorf("buffer: policy %s returned non-resident victim %d", m.policy.Name(), v.Meta.ID)
 	}
 	if v.Dirty {
-		if err := m.store.Write(v.Page); err != nil {
+		if err := m.io.Write(v.Page); err != nil {
 			return fmt.Errorf("buffer: write-back of page %d: %w", v.Meta.ID, err)
 		}
 		m.stats.WriteBacks++
@@ -326,12 +400,26 @@ func (m *Manager) evictOne(ctx AccessContext) error {
 }
 
 // Flush writes back all dirty resident pages without evicting them.
+// Flushes are rare and expensive, so a tracer records every one (no
+// sampling), with one store.Write child span per dirty page.
 func (m *Manager) Flush() error {
+	if a := m.tracer.StartOp(tracing.KindFlush, m.shard); a != nil {
+		m.slot.SetActive(a)
+		err := m.flush()
+		m.slot.SetActive(nil)
+		a.Finish(false, err != nil)
+		return err
+	}
+	return m.flush()
+}
+
+// flush is the untraced write-back loop.
+func (m *Manager) flush() error {
 	for _, f := range m.frames {
 		if !f.Dirty {
 			continue
 		}
-		if err := m.store.Write(f.Page); err != nil {
+		if err := m.io.Write(f.Page); err != nil {
 			return fmt.Errorf("buffer: flush page %d: %w", f.Meta.ID, err)
 		}
 		m.stats.WriteBacks++
@@ -378,6 +466,24 @@ type Updater interface {
 // eviction or Flush. Like reads, Puts are timed when the sink implements
 // obs.LatencyRecorder.
 func (m *Manager) Put(p *page.Page, ctx AccessContext) error {
+	if m.tracer != nil && p != nil {
+		wait := m.pendingLockWait
+		m.pendingLockWait = 0
+		if a := m.tracer.StartRequest(tracing.KindPut, p.ID, ctx.QueryID, m.shard, wait); a != nil {
+			m.slot.SetActive(a)
+			resident := m.Contains(p.ID)
+			err := m.timedPut(p, ctx)
+			m.slot.SetActive(nil)
+			// A Put "hits" when it replaced a resident page in place.
+			a.Finish(resident, err != nil)
+			return err
+		}
+	}
+	return m.timedPut(p, ctx)
+}
+
+// timedPut brackets put with latency timing when the sink asked for it.
+func (m *Manager) timedPut(p *page.Page, ctx AccessContext) error {
 	if m.timer == nil {
 		return m.put(p, ctx)
 	}

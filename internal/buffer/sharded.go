@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 	"repro/internal/storage"
 )
@@ -43,6 +46,14 @@ import (
 type ShardedPool struct {
 	shards   []*poolShard
 	capacity int
+
+	// contention, when set, profiles every shard-lock acquisition of the
+	// request path (Get/Put/Fix); traceWait additionally deposits the
+	// measured wait with the shard's manager so it lands in the root span
+	// of traced requests. Both are read before taking a shard lock, hence
+	// atomic; when neither is set the request path pays two atomic loads.
+	contention atomic.Pointer[tracing.Contention]
+	traceWait  atomic.Bool
 }
 
 // poolShard is one partition: a Manager guarded by its own mutex. The
@@ -95,15 +106,45 @@ func NewShardedPool(store storage.Store, factory PolicyFactory, capacity, shards
 	return p, nil
 }
 
-// shardFor routes a page ID to its shard. The murmur3 finalizer mixes
-// the (often dense, sequential) page IDs so neighbouring tree nodes
-// spread across shards instead of piling onto one.
-func (p *ShardedPool) shardFor(id page.ID) *poolShard {
+// shardIndex routes a page ID to its shard index. The murmur3 finalizer
+// mixes the (often dense, sequential) page IDs so neighbouring tree
+// nodes spread across shards instead of piling onto one.
+func (p *ShardedPool) shardIndex(id page.ID) int {
 	h := uint64(id)
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
-	return p.shards[h%uint64(len(p.shards))]
+	return int(h % uint64(len(p.shards)))
+}
+
+// shardFor routes a page ID to its shard.
+func (p *ShardedPool) shardFor(id page.ID) *poolShard {
+	return p.shards[p.shardIndex(id)]
+}
+
+// lockShard acquires shard i's lock for a request, measuring the wait
+// when a contention profiler or tracer wants it.
+func (p *ShardedPool) lockShard(i int) *poolShard {
+	sh := p.shards[i]
+	c := p.contention.Load()
+	traced := p.traceWait.Load()
+	if c == nil && !traced {
+		sh.mu.Lock()
+		return sh
+	}
+	if c != nil {
+		c.BeginWait(i)
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	wait := time.Since(start).Nanoseconds()
+	if c != nil {
+		c.EndWait(i, wait)
+	}
+	if traced {
+		sh.m.depositLockWait(wait)
+	}
+	return sh
 }
 
 // Shards returns the number of shards (≥ 1; may be lower than requested
@@ -142,8 +183,7 @@ func (p *ShardedPool) ShardStats(i int) Stats {
 // Get implements Pool (and rtree.Reader): the request is served by the
 // page's shard under that shard's lock only.
 func (p *ShardedPool) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	sh := p.shardFor(id)
-	sh.mu.Lock()
+	sh := p.lockShard(p.shardIndex(id))
 	defer sh.mu.Unlock()
 	return sh.m.Get(id, ctx)
 }
@@ -153,16 +193,14 @@ func (p *ShardedPool) Put(pg *page.Page, ctx AccessContext) error {
 	if pg == nil || pg.ID == page.InvalidID {
 		return errors.New("buffer: put of invalid page")
 	}
-	sh := p.shardFor(pg.ID)
-	sh.mu.Lock()
+	sh := p.lockShard(p.shardIndex(pg.ID))
 	defer sh.mu.Unlock()
 	return sh.m.Put(pg, ctx)
 }
 
 // Fix implements Pool: pins the page in its shard.
 func (p *ShardedPool) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	sh := p.shardFor(id)
-	sh.mu.Lock()
+	sh := p.lockShard(p.shardIndex(id))
 	defer sh.mu.Unlock()
 	return sh.m.Fix(id, ctx)
 }
@@ -273,4 +311,27 @@ func (p *ShardedPool) SetSink(s obs.Sink) {
 		sh.m.SetSink(obs.TagShard(s, i))
 		sh.mu.Unlock()
 	}
+}
+
+// SetTracer attaches one request-scoped span tracer to every shard (see
+// Manager.SetTracer); each shard records under its own index, into its
+// own trace ring, so spans carry the shard the page hashed to. While a
+// tracer is attached, each request's shard-lock wait is measured and
+// lands in its root span's LockWait. The tracer must have been built
+// with at least Shards() rings. A nil tracer detaches.
+func (p *ShardedPool) SetTracer(t *tracing.Tracer) {
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		sh.m.SetTracer(t, i)
+		sh.mu.Unlock()
+	}
+	p.traceWait.Store(t != nil)
+}
+
+// EnableContention attaches a shard-contention profiler: every request's
+// lock acquisition reports its wait time and queue position under its
+// shard index. The profiler must have been built with at least Shards()
+// shards. Pass nil to stop profiling.
+func (p *ShardedPool) EnableContention(c *tracing.Contention) {
+	p.contention.Store(c)
 }

@@ -2,8 +2,11 @@ package buffer
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 )
 
@@ -19,6 +22,12 @@ import (
 type SyncManager struct {
 	mu sync.Mutex
 	m  *Manager
+
+	// contention, when set, profiles acquisitions of mu as shard 0;
+	// traceWait additionally feeds the measured wait into the root span
+	// of traced requests. Both are read before taking mu, hence atomic.
+	contention atomic.Pointer[tracing.Contention]
+	traceWait  atomic.Bool
 }
 
 // NewSyncManager wraps an existing manager. The wrapped manager must not
@@ -27,23 +36,47 @@ func NewSyncManager(m *Manager) *SyncManager {
 	return &SyncManager{m: m}
 }
 
+// lockRequest acquires the mutex for a request, measuring the wait when
+// a contention profiler or tracer wants it. The common case (neither
+// attached) is two atomic loads plus the plain Lock.
+func (s *SyncManager) lockRequest() {
+	c := s.contention.Load()
+	traced := s.traceWait.Load()
+	if c == nil && !traced {
+		s.mu.Lock()
+		return
+	}
+	if c != nil {
+		c.BeginWait(0)
+	}
+	start := time.Now()
+	s.mu.Lock()
+	wait := time.Since(start).Nanoseconds()
+	if c != nil {
+		c.EndWait(0, wait)
+	}
+	if traced {
+		s.m.depositLockWait(wait)
+	}
+}
+
 // Get implements the Reader contract of rtree.Reader.
 func (s *SyncManager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	s.mu.Lock()
+	s.lockRequest()
 	defer s.mu.Unlock()
 	return s.m.Get(id, ctx)
 }
 
 // Put installs a new page version (see Manager.Put).
 func (s *SyncManager) Put(p *page.Page, ctx AccessContext) error {
-	s.mu.Lock()
+	s.lockRequest()
 	defer s.mu.Unlock()
 	return s.m.Put(p, ctx)
 }
 
 // Fix pins a page (see Manager.Fix).
 func (s *SyncManager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	s.mu.Lock()
+	s.lockRequest()
 	defer s.mu.Unlock()
 	return s.m.Fix(id, ctx)
 }
@@ -105,4 +138,22 @@ func (s *SyncManager) SetSink(sink obs.Sink) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m.SetSink(sink)
+}
+
+// SetTracer attaches a request-scoped span tracer to the wrapped manager
+// (see Manager.SetTracer); the SyncManager records as shard 0. While a
+// tracer is attached, each request's mutex wait is measured and lands in
+// its root span's LockWait. A nil tracer detaches.
+func (s *SyncManager) SetTracer(t *tracing.Tracer) {
+	s.mu.Lock()
+	s.m.SetTracer(t, 0)
+	s.mu.Unlock()
+	s.traceWait.Store(t != nil)
+}
+
+// EnableContention attaches a lock-contention profiler; the single mutex
+// reports as shard 0 (the profiler should be built with ≥ 1 shard). Pass
+// nil to stop profiling.
+func (s *SyncManager) EnableContention(c *tracing.Contention) {
+	s.contention.Store(c)
 }

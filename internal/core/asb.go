@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 )
 
@@ -69,6 +70,7 @@ func DefaultASBOptions() ASBOptions {
 // leaving the buffer.
 type ASB struct {
 	obs.Target
+	tracing.SlotTarget
 
 	crit     page.Criterion
 	mainCap  int
@@ -227,7 +229,22 @@ func (p *ASB) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 // the resulting size as an Adapt event; with FreezeCand the signal is
 // emitted but not acted on.
 func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
+	act := p.TraceSlot().Active()
+	var span int32
+	if act != nil {
+		span = act.Start(tracing.KindAdapt)
+	}
+	oldC := p.cand
 	betterSpatial, betterLRU := 0, 0
+	defer func() {
+		if act != nil {
+			sp := act.At(span)
+			sp.Page = f.Meta.ID
+			sp.OldC, sp.NewC = int32(oldC), int32(p.cand)
+			sp.BetterSpatial, sp.BetterLRU = int32(betterSpatial), int32(betterLRU)
+			act.End(span)
+		}
+	}()
 	for e := p.over.Front(); e != nil; e = e.Next() {
 		q := e.Value.(*buffer.Frame)
 		if q == f {
@@ -260,7 +277,6 @@ func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 	if margin < 1 {
 		margin = 1
 	}
-	oldC := p.cand
 	switch {
 	case betterSpatial > betterLRU:
 		// The spatial strategy would have kept many pages ahead of the
@@ -285,7 +301,7 @@ func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 // the main part is within its share. Pinned pages are never demoted.
 func (p *ASB) rebalance() {
 	for p.main.Len() > p.mainCap {
-		v, _ := p.mainVictim()
+		v, _, _ := p.mainVictim()
 		if v == nil {
 			return // everything pinned; tolerate a temporarily oversized main part
 		}
@@ -300,41 +316,74 @@ func (p *ASB) rebalance() {
 // with the smallest spatial criterion among the cand least recently used;
 // scanning from the LRU end keeps ties on the older page. The second
 // return value is the victim's rank from the LRU end (0 = least recently
-// used), or -1 if there is no victim.
-func (p *ASB) mainVictim() (*buffer.Frame, int) {
+// used), or -1 if there is no victim; the third is the largest (worst,
+// i.e. best-to-keep) criterion among the scanned unpinned candidates, the
+// value the victim "won" against in trace spans.
+func (p *ASB) mainVictim() (*buffer.Frame, int, float64) {
 	var best *buffer.Frame
-	var bestCrit float64
+	var bestCrit, worstCrit float64
 	bestRank := -1
 	seen := 0
 	for e := p.main.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*buffer.Frame)
 		seen++
 		if !f.Pinned() {
-			if c := f.Aux().(*asbAux).crit; best == nil || c < bestCrit {
+			c := f.Aux().(*asbAux).crit
+			if best == nil || c < bestCrit {
 				best, bestCrit, bestRank = f, c, seen-1
+			}
+			if c > worstCrit {
+				worstCrit = c
 			}
 		}
 		if seen >= p.cand && best != nil {
 			break
 		}
 	}
-	return best, bestRank
+	return best, bestRank, worstCrit
 }
 
 // Victim implements buffer.Policy: the FIFO head of the overflow buffer.
 // If the overflow buffer is empty (or fully pinned) the main part's SLRU
-// victim is evicted directly.
+// victim is evicted directly. On sampled requests the selection is
+// recorded as a victim-select span carrying the deciding criterion
+// values.
 func (p *ASB) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	act := p.TraceSlot().Active()
+	var span int32
+	if act != nil {
+		span = act.Start(tracing.KindVictim)
+	}
+	var v *buffer.Frame
+	reason := obs.ReasonASBOverflow
+	var worst float64
 	rank := 0
 	for e := p.over.Front(); e != nil; e = e.Next() {
 		if f := e.Value.(*buffer.Frame); !f.Pinned() {
-			p.lastRank = rank
-			return f
+			v = f
+			break
 		}
 		rank++
 	}
-	v, r := p.mainVictim()
-	p.lastRank = r
+	if v == nil {
+		v, rank, worst = p.mainVictim()
+		reason = obs.ReasonASBMain
+	}
+	p.lastRank = rank
+	if act != nil {
+		sp := act.At(span)
+		sp.Reason = reason
+		sp.CritKind = p.crit.String()
+		sp.Rank = int32(rank)
+		sp.CritLose = worst
+		if v != nil {
+			sp.Page = v.Meta.ID
+			sp.CritWin = v.Aux().(*asbAux).crit
+		} else {
+			sp.Err = true // every frame pinned
+		}
+		act.End(span)
+	}
 	return v
 }
 

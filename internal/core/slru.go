@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 )
 
@@ -16,6 +17,7 @@ import (
 // (candSize = 1) and the pure spatial policy (candSize = buffer size).
 type SLRU struct {
 	obs.Target
+	tracing.SlotTarget
 
 	crit     page.Criterion
 	candSize int
@@ -62,22 +64,45 @@ func (p *SLRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 // ties on the older page. If the candidate set holds no unpinned frame the
 // scan continues past it (degrading to LRU) rather than failing.
 func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	act := p.TraceSlot().Active()
+	var span int32
+	if act != nil {
+		span = act.Start(tracing.KindVictim)
+	}
 	var best *buffer.Frame
-	var bestCrit float64
+	var bestCrit, worstCrit float64
 	seen := 0
 	p.lastRank = -1
 	for e := p.order.Back(); e != nil; e = e.Prev() {
 		f := e.Value.(*buffer.Frame)
 		seen++
 		if !f.Pinned() {
-			if c := f.Aux().(*slruAux).crit; best == nil || c < bestCrit {
+			c := f.Aux().(*slruAux).crit
+			if best == nil || c < bestCrit {
 				best, bestCrit = f, c
 				p.lastRank = seen - 1
+			}
+			if c > worstCrit {
+				worstCrit = c
 			}
 		}
 		if seen >= p.candSize && best != nil {
 			break
 		}
+	}
+	if act != nil {
+		sp := act.At(span)
+		sp.Reason = obs.ReasonSLRU
+		sp.CritKind = p.crit.String()
+		sp.Rank = int32(p.lastRank)
+		sp.CritLose = worstCrit
+		if best != nil {
+			sp.Page = best.Meta.ID
+			sp.CritWin = bestCrit
+		} else {
+			sp.Err = true // every frame pinned
+		}
+		act.End(span)
 	}
 	return best
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 )
 
@@ -21,6 +22,7 @@ import (
 // component and eviction is O(log n).
 type Spatial struct {
 	obs.Target
+	tracing.SlotTarget
 
 	crit page.Criterion
 	h    spatialHeap
@@ -64,6 +66,11 @@ func (p *Spatial) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 // Victim implements buffer.Policy: the minimum-criterion unpinned frame,
 // ties broken by least recent use.
 func (p *Spatial) Victim(ctx buffer.AccessContext) *buffer.Frame {
+	act := p.TraceSlot().Active()
+	var span int32
+	if act != nil {
+		span = act.Start(tracing.KindVictim)
+	}
 	// Pop pinned frames aside, take the first unpinned, push the pinned
 	// ones back. Pins are rare and shallow in this workload.
 	var parked []*buffer.Frame
@@ -78,6 +85,19 @@ func (p *Spatial) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	}
 	for _, f := range parked {
 		heap.Push(&p.h, f)
+	}
+	if act != nil {
+		sp := act.At(span)
+		sp.Reason = obs.ReasonSpatial
+		sp.CritKind = p.crit.String()
+		sp.Rank = -1 // the heap tracks recency only as a tie-break
+		if victim != nil {
+			sp.Page = victim.Meta.ID
+			sp.CritWin = victim.Aux().(*spatialAux).crit
+		} else {
+			sp.Err = true // every frame pinned
+		}
+		act.End(span)
 	}
 	return victim
 }

@@ -103,8 +103,9 @@ func Run(db *Database, setNames []string, factories []core.Factory, fracs []floa
 				j := jobs[i]
 				var stats buffer.Stats
 				var err error
-				if o := currentObserver(); o != nil {
-					stats, err = trace.ReplayWithSink(j.tr, db.Store, j.f.New(j.frames), j.frames, o)
+				o, tc := currentObserver(), currentTracer()
+				if o != nil || tc != nil {
+					stats, err = trace.ReplayTraced(j.tr, db.Store, j.f.New(j.frames), j.frames, o, tc)
 				} else {
 					stats, err = trace.Replay(j.tr, db.Store, j.f.New(j.frames), j.frames)
 				}
@@ -234,6 +235,9 @@ func RunAdaptation(db *Database, frac float64, seed int64) (*AdaptationTrace, er
 	m, err := buffer.NewManager(db.Store, pol, frames)
 	if err != nil {
 		return nil, err
+	}
+	if tc := currentTracer(); tc != nil {
+		m.SetTracer(tc, 0)
 	}
 	// The rest of the run programs against the Pool interface — the
 	// harness measures policies, not a concrete pool flavour.

@@ -1,0 +1,61 @@
+package live
+
+import (
+	"strconv"
+
+	"repro/internal/obs/tracing"
+)
+
+// AddContentionGauges registers shard-labeled lock-contention gauges fed
+// by a tracing.Contention profiler (attach the profiler to the pool with
+// ShardedPool.EnableContention or SyncManager.EnableContention). Each
+// shard exposes its cumulative lock-wait time, the instantaneous queue
+// depth on its lock, and its completed acquisitions — the aggregate view
+// of the per-request LockWait field of trace spans, answering "which
+// shard is the hot one" without sampling.
+func (s *Service) AddContentionGauges(c *tracing.Contention) {
+	for i := 0; i < c.Shards(); i++ {
+		labels := `shard="` + strconv.Itoa(i) + `"`
+		s.AddLabeledGauge("spatialbuf_shard_lock_wait_seconds_total", labels,
+			"Cumulative shard-lock wait time of buffer requests.",
+			func() float64 { return float64(c.WaitNanos(i)) / 1e9 })
+		s.AddLabeledGauge("spatialbuf_shard_lock_waiters", labels,
+			"Goroutines currently acquiring (queue depth of) the shard lock.",
+			func() float64 { return float64(c.Waiters(i)) })
+		s.AddLabeledGauge("spatialbuf_shard_lock_acquisitions_total", labels,
+			"Completed shard-lock acquisitions on the buffer request path.",
+			func() float64 { return float64(c.Acquisitions(i)) })
+	}
+}
+
+// AddTracerGauges registers the tracer's sampling throughput: how many
+// requests were offered to the sampler (spans recorded = seen divided by
+// the sampling interval, steady-state).
+func (s *Service) AddTracerGauges(t *tracing.Tracer) {
+	s.AddGauge("spatialbuf_trace_requests_seen_total",
+		"Buffer requests offered to the trace sampler.",
+		func() float64 { return float64(t.Seen()) })
+	s.AddGauge("spatialbuf_trace_sample_interval",
+		"Trace sampling interval (1 = every request).",
+		func() float64 { return float64(t.SampleEvery()) })
+}
+
+// AddAsyncSinkGauges registers the health gauges of an AsyncSink ring:
+// delivered and dropped event counts plus the instantaneous ring depth
+// and its capacity. A depth pinned near capacity (or a growing dropped
+// count) means the drain side — usually a JSONL writer — cannot keep up
+// with the event rate.
+func (s *Service) AddAsyncSinkGauges(a *AsyncSink) {
+	s.AddGauge("spatialbuf_async_delivered_events_total",
+		"Events the async ring sink delivered downstream.",
+		func() float64 { return float64(a.Delivered()) })
+	s.AddGauge("spatialbuf_async_dropped_events_total",
+		"Events the async ring sink dropped because the ring was full.",
+		func() float64 { return float64(a.Dropped()) })
+	s.AddGauge("spatialbuf_async_ring_depth_events",
+		"Events currently queued in the async ring.",
+		func() float64 { return float64(a.Depth()) })
+	s.AddGauge("spatialbuf_async_ring_capacity_events",
+		"Capacity of the async ring.",
+		func() float64 { return float64(a.Capacity()) })
+}

@@ -187,6 +187,14 @@ func (s *AsyncSink) Dropped() uint64 { return s.dropped.Load() }
 // that matters for interpreting sampled capture files.
 func (s *AsyncSink) DroppedRequests() uint64 { return s.byKind[kindRequest].Load() }
 
+// Depth returns the number of events currently queued in the ring — the
+// instantaneous backlog the drainer has yet to deliver. A depth pinned
+// near Capacity means the downstream sink cannot keep up.
+func (s *AsyncSink) Depth() int { return len(s.ch) }
+
+// Capacity returns the ring capacity in events.
+func (s *AsyncSink) Capacity() int { return cap(s.ch) }
+
 // Close drains remaining events, stops the drainer and flushes (and, if
 // owned, closes) the downstream sink. Idempotent; returns the first
 // downstream finalization error. Producers must be detached first.

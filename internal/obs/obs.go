@@ -205,22 +205,38 @@ func (t timedMultiSink) RecordLatency(nanos int64) {
 // sinks is a NopSink, of one is that sink itself. If any kept sink
 // implements LatencyRecorder, the returned sink does too (forwarding to
 // exactly those members), so request timing survives fan-out.
+//
+// The degenerate cases allocate nothing: callers on reconfiguration
+// paths (SetSink during shutdown, single-sink pools) can call Tee
+// unconditionally without ever paying for a fan-out they don't need.
 func Tee(sinks ...Sink) Sink {
-	var kept multiSink
-	for _, s := range sinks {
+	drop := func(s Sink) bool {
 		if s == nil {
-			continue
+			return true
 		}
-		if _, nop := s.(NopSink); nop {
-			continue
-		}
-		kept = append(kept, s)
+		_, nop := s.(NopSink)
+		return nop
 	}
-	switch len(kept) {
+	// Count before building: a multiSink is only materialized when two
+	// or more sinks actually remain.
+	n, last := 0, Sink(nil)
+	for _, s := range sinks {
+		if !drop(s) {
+			n++
+			last = s
+		}
+	}
+	switch n {
 	case 0:
 		return NopSink{}
 	case 1:
-		return kept[0]
+		return last
+	}
+	kept := make(multiSink, 0, n)
+	for _, s := range sinks {
+		if !drop(s) {
+			kept = append(kept, s)
+		}
 	}
 	var timers []LatencyRecorder
 	for _, s := range kept {

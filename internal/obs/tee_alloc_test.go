@@ -1,0 +1,75 @@
+package obs
+
+import "testing"
+
+// TestTeeDegenerateIdentity pins the contract that Tee never wraps when
+// it doesn't have to: zero useful sinks collapse to NopSink and exactly
+// one useful sink is returned as-is, so the per-event fan-out loop (and
+// its slice) exists only for genuine fan-out.
+func TestTeeDegenerateIdentity(t *testing.T) {
+	rec := &recordingSink{}
+	if _, nop := Tee().(NopSink); !nop {
+		t.Errorf("Tee() = %T, want NopSink", Tee())
+	}
+	if _, nop := Tee(nil, NopSink{}, nil).(NopSink); !nop {
+		t.Errorf("Tee(nil, NopSink, nil) = %T, want NopSink", Tee(nil, NopSink{}, nil))
+	}
+	if got := Tee(rec); got != Sink(rec) {
+		t.Errorf("Tee(rec) = %T, want the sink itself", got)
+	}
+	if got := Tee(nil, rec, NopSink{}); got != Sink(rec) {
+		t.Errorf("Tee(nil, rec, NopSink) = %T, want the sink itself", got)
+	}
+	if _, multi := Tee(rec, &recordingSink{}).(multiSink); !multi {
+		t.Errorf("Tee(rec, rec2) = %T, want multiSink", Tee(rec, &recordingSink{}))
+	}
+}
+
+// TestTeeDegenerateAllocFree asserts the degenerate paths allocate
+// nothing — pools call SetSink(Tee(...)) on every reconfiguration, and
+// the common single-sink and shutdown (all-nil) shapes must stay free.
+func TestTeeDegenerateAllocFree(t *testing.T) {
+	rec := &recordingSink{}
+	cases := []struct {
+		name string
+		args []Sink
+	}{
+		{"empty", nil},
+		{"all-dropped", []Sink{nil, NopSink{}, nil}},
+		{"single", []Sink{rec}},
+		{"single-among-dropped", []Sink{nil, rec, NopSink{}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if n := testing.AllocsPerRun(100, func() { Tee(tc.args...) }); n != 0 {
+				t.Errorf("Tee(%s): %.1f allocs/op, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
+func BenchmarkTeeSingle(b *testing.B) {
+	rec := &recordingSink{}
+	args := []Sink{nil, rec, NopSink{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tee(args...)
+	}
+}
+
+func BenchmarkTeeEmpty(b *testing.B) {
+	args := []Sink{nil, NopSink{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tee(args...)
+	}
+}
+
+func BenchmarkTeeFanOut(b *testing.B) {
+	args := []Sink{&recordingSink{}, &recordingSink{}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tee(args...)
+	}
+}

@@ -1,0 +1,171 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's
+// traceEvents array. Timestamps and durations are microseconds (with
+// fractional precision: the spans are recorded in nanoseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int32          `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// spanArgs renders the kind-specific span payload as Chrome/Perfetto
+// event args.
+func spanArgs(sp Span) map[string]any {
+	args := make(map[string]any, 8)
+	switch sp.Kind {
+	case KindGet, KindPut, KindFix:
+		args["page"] = uint64(sp.Page)
+		args["query"] = sp.QueryID
+		args["hit"] = sp.Hit
+		args["shard"] = sp.Shard
+		if sp.LockWait > 0 {
+			args["lock_wait_ns"] = sp.LockWait
+		}
+	case KindFlush:
+		args["shard"] = sp.Shard
+	case KindVictim:
+		args["reason"] = sp.Reason
+		args["criterion"] = sp.CritKind
+		args["crit_win"] = sp.CritWin
+		args["crit_lose"] = sp.CritLose
+		args["lru_rank"] = sp.Rank
+		args["page"] = uint64(sp.Page)
+	case KindAdapt:
+		args["old_c"] = sp.OldC
+		args["new_c"] = sp.NewC
+		args["better_spatial"] = sp.BetterSpatial
+		args["better_lru"] = sp.BetterLRU
+		args["page"] = uint64(sp.Page)
+	case KindStoreRead, KindStoreWrite:
+		args["page"] = uint64(sp.Page)
+		args["bytes"] = sp.Bytes
+	}
+	if sp.Err {
+		args["error"] = true
+	}
+	return args
+}
+
+// WriteChromeTrace writes the traces in the Chrome trace_event JSON
+// format — load the file in chrome://tracing or https://ui.perfetto.dev.
+// Each shard appears as a process (pid = shard), each sampled request as
+// a thread (tid = trace ID), so concurrent requests on one shard render
+// as parallel tracks and the spans of one request nest by containment.
+func WriteChromeTrace(w io.Writer, traces [][]Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		// Encoder appends a newline per value; inside an array that is
+		// harmless whitespace.
+		return enc.Encode(e)
+	}
+	shards := map[int32]bool{}
+	for _, tr := range traces {
+		for _, sp := range tr {
+			if !shards[sp.Shard] {
+				shards[sp.Shard] = true
+				err := emit(chromeEvent{
+					Name: "process_name", Ph: "M", Pid: sp.Shard,
+					Args: map[string]any{"name": fmt.Sprintf("shard %d", sp.Shard)},
+				})
+				if err != nil {
+					return err
+				}
+			}
+			err := emit(chromeEvent{
+				Name: sp.Kind.String(),
+				Ph:   "X",
+				Ts:   float64(sp.Start) / 1e3,
+				Dur:  float64(sp.Dur) / 1e3,
+				Pid:  sp.Shard,
+				Tid:  sp.Trace,
+				Args: spanArgs(sp),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// jsonlSpan is the flat JSONL export schema of one span.
+type jsonlSpan struct {
+	Trace   uint64 `json:"trace"`
+	Span    int    `json:"span"`
+	Parent  int32  `json:"parent"`
+	Kind    string `json:"kind"`
+	Shard   int32  `json:"shard"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+
+	Page     uint64  `json:"page,omitempty"`
+	Query    uint64  `json:"query,omitempty"`
+	Hit      *bool   `json:"hit,omitempty"`
+	Err      bool    `json:"err,omitempty"`
+	LockWait int64   `json:"lock_wait_ns,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+	CritKind string  `json:"criterion,omitempty"`
+	CritWin  float64 `json:"crit_win,omitempty"`
+	CritLose float64 `json:"crit_lose,omitempty"`
+	Rank     int32   `json:"lru_rank,omitempty"`
+	OldC     int32   `json:"old_c,omitempty"`
+	NewC     int32   `json:"new_c,omitempty"`
+	BSpatial int32   `json:"better_spatial,omitempty"`
+	BLRU     int32   `json:"better_lru,omitempty"`
+	Bytes    int32   `json:"bytes,omitempty"`
+}
+
+// WriteSpansJSONL writes every span as one JSON object per line, for
+// post-hoc analysis with jq/pandas (the span sibling of obs.JSONLSink).
+func WriteSpansJSONL(w io.Writer, traces [][]Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tr := range traces {
+		for i, sp := range tr {
+			row := jsonlSpan{
+				Trace: sp.Trace, Span: i, Parent: sp.Parent,
+				Kind: sp.Kind.String(), Shard: sp.Shard,
+				StartNs: sp.Start, DurNs: sp.Dur,
+				Page: uint64(sp.Page), Query: sp.QueryID, Err: sp.Err,
+				LockWait: sp.LockWait, Reason: sp.Reason,
+				CritKind: sp.CritKind, CritWin: sp.CritWin, CritLose: sp.CritLose,
+				Rank: sp.Rank, OldC: sp.OldC, NewC: sp.NewC,
+				BSpatial: sp.BetterSpatial, BLRU: sp.BetterLRU, Bytes: sp.Bytes,
+			}
+			if sp.Parent == -1 && (sp.Kind == KindGet || sp.Kind == KindPut || sp.Kind == KindFix) {
+				hit := sp.Hit
+				row.Hit = &hit
+			}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

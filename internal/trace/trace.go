@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/page"
 	"repro/internal/queryset"
 	"repro/internal/rtree"
@@ -79,11 +80,26 @@ func Replay(tr *Trace, store storage.Store, pol buffer.Policy, capacity int) (bu
 // first reference, so replay re-emits the full event stream (requests,
 // evictions, promotions, adaptations) exactly as live execution would.
 func ReplayWithSink(tr *Trace, store storage.Store, pol buffer.Policy, capacity int, sink obs.Sink) (buffer.Stats, error) {
+	return ReplayTraced(tr, store, pol, capacity, sink, nil)
+}
+
+// ReplayTraced is ReplayWithSink with a request-scoped span tracer
+// additionally attached (the replay records as shard 0): sampled
+// references produce span trees — Get, victim selection with criterion
+// values, ASB adaptations, physical I/O — exportable via
+// tracing.WriteChromeTrace or WriteSpansJSONL. sink and tracer may each
+// be nil; with both nil this is plain Replay.
+func ReplayTraced(tr *Trace, store storage.Store, pol buffer.Policy, capacity int, sink obs.Sink, tracer *tracing.Tracer) (buffer.Stats, error) {
 	m, err := buffer.NewManager(store, pol, capacity)
 	if err != nil {
 		return buffer.Stats{}, err
 	}
-	m.SetSink(sink)
+	if sink != nil {
+		m.SetSink(sink)
+	}
+	if tracer != nil {
+		m.SetTracer(tracer, 0)
+	}
 	return ReplayOn(tr, m)
 }
 
