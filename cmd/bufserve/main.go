@@ -76,6 +76,9 @@ type config struct {
 
 	traceSample int
 	traceBuf    int
+
+	wbWorkers int
+	wbQueue   int
 }
 
 func main() {
@@ -97,6 +100,8 @@ func main() {
 	flag.IntVar(&cfg.ring, "ring", live.DefaultRingCapacity, "with -events: async ring capacity in events")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "record a span trace for 1 in N requests, served at /debug/trace (0 = tracing off)")
 	flag.IntVar(&cfg.traceBuf, "trace-buf", 256, "completed traces retained per shard ring")
+	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with shards > 1: background dirty-page writer goroutines")
+	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with shards > 1: write-back queue capacity in pages")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -177,12 +182,28 @@ func run(cfg config) error {
 			svc.AddASBGauges(asb)
 		}
 	} else {
-		sp, err := buffer.NewShardedPool(db.Store, fac.New, frames, shards)
+		// The sharded pool runs in async mode: physical reads happen
+		// outside the shard locks (concurrent misses for one page share a
+		// single read) and dirty evictions drain through the background
+		// write-back queue the two -writeback-* flags size.
+		sp, err := buffer.NewAsyncShardedPool(db.Store, fac.New, frames, shards,
+			buffer.AsyncConfig{WritebackWorkers: cfg.wbWorkers, WritebackQueue: cfg.wbQueue})
 		if err != nil {
 			return err
 		}
+		defer sp.Close()
 		pool = sp
 		shards = sp.Shards() // may have been clamped for tiny buffers
+		svc.AddGauge("spatialbuf_writeback_queue_depth", "Pages waiting in the background write-back queue.",
+			func() float64 { return float64(sp.Writeback().Depth) })
+		svc.AddGauge("spatialbuf_writeback_pending_pages", "Pages queued or mid-write in the write-back machinery.",
+			func() float64 { return float64(sp.Writeback().Pending) })
+		svc.AddGauge("spatialbuf_writeback_written_total", "Completed background page writes.",
+			func() float64 { return float64(sp.Writeback().Written) })
+		svc.AddGauge("spatialbuf_writeback_coalesced_total", "Write-backs absorbed by an already-queued entry for the same page.",
+			func() float64 { return float64(sp.Writeback().Coalesced) })
+		svc.AddGauge("spatialbuf_writeback_fallbacks_total", "Evictions written synchronously because the queue was full.",
+			func() float64 { return float64(sp.Writeback().Fallbacks) })
 		var asbParts []live.ASBGauges
 		for i := 0; i < sp.Shards(); i++ {
 			svc.AddLabeledGauge("spatialbuf_shard_resident_pages",

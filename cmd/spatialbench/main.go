@@ -78,6 +78,9 @@ type config struct {
 
 	traceOut    string
 	traceSample int
+
+	wbWorkers int
+	wbQueue   int
 }
 
 func main() {
@@ -99,6 +102,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "with -events/-window: replay through a page-hashed sharded pool with this many shards (per-shard policy instances)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write request span traces as Chrome trace-event JSON to this file")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "with -trace-out: trace 1 in N buffer requests")
+	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with -shards > 1: background dirty-page writer goroutines")
+	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with -shards > 1: write-back queue capacity in pages")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -339,7 +344,8 @@ func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit fun
 		return err
 	}
 	if cfg.events != "" || cfg.window > 0 {
-		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards, tracer)
+		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards,
+			buffer.AsyncConfig{WritebackWorkers: cfg.wbWorkers, WritebackQueue: cfg.wbQueue}, tracer)
 	}
 	return nil
 }
@@ -351,10 +357,13 @@ func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit fun
 // stay unperturbed and the event file has a deterministic order.
 //
 // The replays program against buffer.Pool: with shards > 1 each
-// combination runs through a page-hashed ShardedPool (one policy
-// instance per shard, events tagged with their shard), measuring the
-// partitioned variant of each policy instead of the monolithic one.
-func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int, tracer *tracing.Tracer) error {
+// combination runs through a page-hashed async ShardedPool (one policy
+// instance per shard, events tagged with their shard, physical reads
+// outside the shard locks), measuring the partitioned variant of each
+// policy instead of the monolithic one. The replay itself is
+// single-threaded, where the async pool is stat-for-stat identical to
+// the synchronous one, so the tables stay comparable.
+func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int, asyncCfg buffer.AsyncConfig, tracer *tracing.Tracer) error {
 	var jsonl *obs.JSONLSink
 	if eventsPath != "" {
 		f, err := os.Create(eventsPath)
@@ -388,8 +397,9 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 					sinks = append(sinks, wt)
 				}
 				var pool buffer.Pool
+				var sp *buffer.ShardedPool
 				if shards > 1 {
-					sp, err := buffer.NewShardedPool(db.Store, fac.New, frames, shards)
+					sp, err = buffer.NewAsyncShardedPool(db.Store, fac.New, frames, shards, asyncCfg)
 					if err != nil {
 						return fmt.Errorf("instrumented replay %s: %w", label, err)
 					}
@@ -412,6 +422,11 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 				}
 				if _, err := trace.ReplayOn(tr, pool); err != nil {
 					return fmt.Errorf("instrumented replay %s: %w", label, err)
+				}
+				if sp != nil {
+					if err := sp.Close(); err != nil {
+						return fmt.Errorf("instrumented replay %s: close: %w", label, err)
+					}
 				}
 				if wt != nil {
 					fmt.Printf("%-24s windowed hit ratio (n=%d):", label, wt.WindowSize())

@@ -104,9 +104,17 @@ type Stats struct {
 	// Puts counts write-path requests (Manager.Put); they are not part
 	// of Requests/Hits/Misses, which describe the read path.
 	Puts uint64
-	// WriteBacks counts dirty pages written to the store on eviction or
-	// Flush.
+	// WriteBacks counts dirty pages handed to the store on eviction or
+	// Flush. With a background write-back queue attached this counts the
+	// logical write-back decisions; the physical store writes can be
+	// fewer when several write-backs of the same page coalesce.
 	WriteBacks uint64
+	// Coalesced counts misses that were served without their own
+	// physical read: either by sharing another request's in-flight read
+	// (singleflight) or from a page still waiting in the write-back
+	// queue. Always a subset of Misses; zero on synchronous pools, so
+	// Misses-Coalesced equals the physical read count.
+	Coalesced uint64
 }
 
 // Add accumulates o into s, field by field. It is the merge operation
@@ -119,15 +127,18 @@ func (s *Stats) Add(o Stats) {
 	s.Evictions += o.Evictions
 	s.Puts += o.Puts
 	s.WriteBacks += o.WriteBacks
+	s.Coalesced += o.Coalesced
 }
 
 // DiskReads returns the number of physical reads caused through the
-// buffer — the paper's cost metric for read-only workloads.
-func (s Stats) DiskReads() uint64 { return s.Misses }
+// buffer — the paper's cost metric for read-only workloads. Coalesced
+// misses shared another request's read (or a queued write-back), so
+// they cost no read of their own.
+func (s Stats) DiskReads() uint64 { return s.Misses - s.Coalesced }
 
 // DiskIO returns physical reads plus write-backs — the cost metric for
 // update workloads.
-func (s Stats) DiskIO() uint64 { return s.Misses + s.WriteBacks }
+func (s Stats) DiskIO() uint64 { return s.DiskReads() + s.WriteBacks }
 
 // HitRatio returns Hits/Requests, or 0 for an unused buffer.
 func (s Stats) HitRatio() float64 {
@@ -176,6 +187,10 @@ type Manager struct {
 	// deposited by the enclosing concurrent pool after it acquired the
 	// lock and consumed (and cleared) by the next traced request.
 	pendingLockWait int64
+
+	// wb, when non-nil, receives dirty evicted pages for background
+	// write-back instead of the synchronous under-lock store write.
+	wb writebackEnqueuer
 }
 
 // NewManager creates a buffer of the given capacity (in frames, ≥ 1) over
@@ -248,6 +263,11 @@ func (m *Manager) Tracer() *tracing.Tracer { return m.tracer }
 // the concurrent pools after acquiring the shard lock.
 func (m *Manager) depositLockWait(ns int64) { m.pendingLockWait = ns }
 
+// latencyTimer returns the sink's latency recorder, or nil when the
+// attached sink is latency-blind. The async pool's request path times
+// itself (it bypasses timedServe), so it needs the recorder directly.
+func (m *Manager) latencyTimer() obs.LatencyRecorder { return m.timer }
+
 // Capacity returns the buffer capacity in frames.
 func (m *Manager) Capacity() int { return m.capacity }
 
@@ -288,8 +308,26 @@ func (m *Manager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
 	return f.Page, nil
 }
 
-// Unfix releases one pin on the page.
+// Unfix releases one pin on the page. Like Get/Put it routes through
+// the tracing plumbing: sampled unfixes record a root span (Hit set
+// when the page was resident), so pin-leak debugging can line pins and
+// unpins up in one trace timeline.
 func (m *Manager) Unfix(id page.ID) error {
+	if m.tracer != nil {
+		wait := m.pendingLockWait
+		m.pendingLockWait = 0
+		if a := m.tracer.StartRequest(tracing.KindUnfix, id, 0, m.shard, wait); a != nil {
+			resident := m.Contains(id)
+			err := m.unfix(id)
+			a.Finish(resident, err != nil)
+			return err
+		}
+	}
+	return m.unfix(id)
+}
+
+// unfix is the untraced pin release.
+func (m *Manager) unfix(id page.ID) error {
 	f, ok := m.frames[id]
 	if !ok {
 		return fmt.Errorf("buffer: unfix of non-resident page %d", id)
@@ -302,7 +340,24 @@ func (m *Manager) Unfix(id page.ID) error {
 }
 
 // MarkDirty flags a resident page for write-back on eviction or Flush.
+// Sampled calls record a root span like Get/Put, so the dirtying of a
+// page is visible in the same trace timeline as its later write-back.
 func (m *Manager) MarkDirty(id page.ID) error {
+	if m.tracer != nil {
+		wait := m.pendingLockWait
+		m.pendingLockWait = 0
+		if a := m.tracer.StartRequest(tracing.KindMarkDirty, id, 0, m.shard, wait); a != nil {
+			resident := m.Contains(id)
+			err := m.markDirty(id)
+			a.Finish(resident, err != nil)
+			return err
+		}
+	}
+	return m.markDirty(id)
+}
+
+// markDirty is the untraced dirty flagging.
+func (m *Manager) markDirty(id page.ID) error {
 	f, ok := m.frames[id]
 	if !ok {
 		return fmt.Errorf("buffer: mark dirty of non-resident page %d", id)
@@ -341,41 +396,103 @@ func (m *Manager) timedServe(id page.ID, ctx AccessContext) (*Frame, error) {
 	return f, err
 }
 
-// serve is the untimed hit/miss protocol.
+// serve is the untimed hit/miss protocol. It is composed from the
+// locked primitives below (hitLocked/missLocked/admitLocked) so the
+// concurrent pools can run the same protocol with the physical read
+// lifted out of the critical section; the composition here performs the
+// exact seed sequence: count, read, evict, admit.
 func (m *Manager) serve(id page.ID, ctx AccessContext) (*Frame, error) {
-	m.clock++
-	now := m.clock
-	m.stats.Requests++
-
 	if f, ok := m.frames[id]; ok {
-		m.stats.Hits++
-		m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: true})
-		m.policy.OnHit(f, now, ctx)
-		f.LastUse = now
+		m.hitLocked(f, ctx)
 		return f, nil
 	}
-
-	m.stats.Misses++
-	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false})
+	now := m.missLocked(id, ctx, false)
 	// Read before evicting: a failed read must not discard a perfectly
 	// good cached page (or count an eviction) for a request that errored.
 	p, err := m.io.Read(id)
 	if err != nil {
 		return nil, err
 	}
+	return m.admitLocked(p, now, ctx)
+}
+
+// frame returns the resident frame for id, or nil — residency lookup
+// without any request accounting, for the concurrent pools' fast path.
+func (m *Manager) frame(id page.ID) *Frame { return m.frames[id] }
+
+// hitLocked accounts one read request served by the resident frame f:
+// clock tick, hit counters, sink event, policy OnHit, LastUse update.
+// Must run under the manager's serialization.
+func (m *Manager) hitLocked(f *Frame, ctx AccessContext) {
+	m.clock++
+	now := m.clock
+	m.stats.Requests++
+	m.stats.Hits++
+	m.sink.Request(obs.RequestEvent{Page: f.Meta.ID, QueryID: ctx.QueryID, Hit: true})
+	m.policy.OnHit(f, now, ctx)
+	f.LastUse = now
+}
+
+// missLocked accounts one read request that missed and returns the
+// request's logical time, at which the page should later be admitted.
+// coalesced marks misses that will share another request's physical
+// read instead of performing their own. Must run under the manager's
+// serialization.
+func (m *Manager) missLocked(id page.ID, ctx AccessContext, coalesced bool) uint64 {
+	m.clock++
+	m.stats.Requests++
+	m.stats.Misses++
+	if coalesced {
+		m.stats.Coalesced++
+	}
+	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false, Coalesced: coalesced})
+	return m.clock
+}
+
+// tickLocked advances the logical clock for a request that was already
+// accounted (a coalesced waiter retrying as a fresh reader). Must run
+// under the manager's serialization.
+func (m *Manager) tickLocked() uint64 {
+	m.clock++
+	return m.clock
+}
+
+// admitLocked installs the freshly read page at logical time now,
+// evicting first when the buffer is full. Must run under the manager's
+// serialization; now must come from missLocked/tickLocked.
+func (m *Manager) admitLocked(p *page.Page, now uint64, ctx AccessContext) (*Frame, error) {
 	if len(m.frames) >= m.capacity {
 		if err := m.evictOne(ctx); err != nil {
 			return nil, err
 		}
 	}
 	f := &Frame{Meta: p.Meta, Page: p, LastUse: now}
-	m.frames[id] = f
+	m.frames[p.ID] = f
 	m.policy.OnAdmit(f, now, ctx)
 	return f, nil
 }
 
-// evictOne asks the policy for a victim, writes it back if dirty, and
-// removes it.
+// writebackEnqueuer is the hook a background write-back queue installs
+// on a manager (via setWriteback): enqueue hands over a dirty evicted
+// page and reports whether the queue accepted it. It is called under
+// the shard lock, so it must never block; a false return (queue full or
+// closed) makes the manager fall back to a synchronous write — the
+// queue-full backpressure path. take cancels (and returns) the pending
+// entry for a page, so a newer version entering the buffer supersedes a
+// queued older one before its stale write can land.
+type writebackEnqueuer interface {
+	enqueue(p *page.Page) bool
+	take(id page.ID) (*page.Page, bool)
+}
+
+// setWriteback attaches (or, with nil, detaches) a background
+// write-back queue: dirty victims are enqueued instead of written
+// synchronously under the lock.
+func (m *Manager) setWriteback(wb writebackEnqueuer) { m.wb = wb }
+
+// evictOne asks the policy for a victim, writes it back if dirty (or
+// hands it to the background write-back queue when one is attached),
+// and removes it.
 func (m *Manager) evictOne(ctx AccessContext) error {
 	v := m.policy.Victim(ctx)
 	if v == nil {
@@ -388,7 +505,11 @@ func (m *Manager) evictOne(ctx AccessContext) error {
 		return fmt.Errorf("buffer: policy %s returned non-resident victim %d", m.policy.Name(), v.Meta.ID)
 	}
 	if v.Dirty {
-		if err := m.io.Write(v.Page); err != nil {
+		if m.wb != nil && m.wb.enqueue(v.Page) {
+			// Queued: a background writer will perform the physical
+			// write; until then misses on this page are served from the
+			// queue (read-your-writes), never from the stale store.
+		} else if err := m.io.Write(v.Page); err != nil {
 			return fmt.Errorf("buffer: write-back of page %d: %w", v.Meta.ID, err)
 		}
 		m.stats.WriteBacks++
@@ -515,6 +636,11 @@ func (m *Manager) put(p *page.Page, ctx AccessContext) error {
 		return nil
 	}
 
+	if m.wb != nil {
+		// A queued write-back of an older version is superseded by this
+		// content; cancel it so the stale write can never land after ours.
+		m.wb.take(p.ID)
+	}
 	if len(m.frames) >= m.capacity {
 		if err := m.evictOne(ctx); err != nil {
 			return err

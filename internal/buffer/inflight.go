@@ -1,0 +1,23 @@
+package buffer
+
+import "repro/internal/page"
+
+// inflight is one in-progress physical read, shared by every concurrent
+// miss for the same page on the same shard (per-shard singleflight).
+//
+// The first miss (the leader) registers the entry in its shard's flight
+// table under the shard lock, performs the store read outside the lock,
+// then re-acquires the lock to publish: it fills page/err, removes the
+// entry from the table and closes done — in that order, all under the
+// lock, so the channel close happens-before any waiter's read of the
+// fields. Later misses (waiters) find the entry, are counted as
+// coalesced misses, and block on done outside the lock.
+//
+// The error path leaves no residue: a failed read publishes err, and
+// because the entry is already unregistered, the next miss for the page
+// starts a fresh read instead of inheriting the failure.
+type inflight struct {
+	done chan struct{}
+	page *page.Page
+	err  error
+}

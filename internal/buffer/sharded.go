@@ -43,6 +43,13 @@ import (
 // shards (each event tagged with its shard index via obs.TagShard) and
 // must therefore be safe for concurrent use, exactly as with
 // SyncManager.
+//
+// A pool built by NewAsyncShardedPool additionally runs the miss path
+// asynchronously: the shard lock protects only in-memory state, the
+// physical read happens outside it (with per-shard singleflight
+// coalescing of concurrent misses for the same page), and dirty evicted
+// pages drain through a bounded background write-back queue. See the
+// "I/O concurrency contract" section of DESIGN.md for the protocol.
 type ShardedPool struct {
 	shards   []*poolShard
 	capacity int
@@ -54,6 +61,15 @@ type ShardedPool struct {
 	// atomic; when neither is set the request path pays two atomic loads.
 	contention atomic.Pointer[tracing.Contention]
 	traceWait  atomic.Bool
+
+	// async marks a pool built by NewAsyncShardedPool. store is the
+	// shared page store the async miss path reads directly (outside any
+	// shard lock); wb is the background write-back queue every shard's
+	// manager enqueues dirty victims into. All three are set once at
+	// construction and never change.
+	async bool
+	store storage.Store
+	wb    *writeback
 }
 
 // poolShard is one partition: a Manager guarded by its own mutex. The
@@ -62,6 +78,10 @@ type ShardedPool struct {
 type poolShard struct {
 	mu sync.Mutex
 	m  *Manager
+	// flight is the shard's singleflight table: one entry per page whose
+	// physical read is currently in progress outside the lock. Nil on
+	// synchronous pools; guarded by mu on async ones.
+	flight map[page.ID]*inflight
 }
 
 // NewShardedPool builds a pool of the given total capacity (in frames)
@@ -106,6 +126,75 @@ func NewShardedPool(store storage.Store, factory PolicyFactory, capacity, shards
 	return p, nil
 }
 
+// DefaultWritebackWorkers is the number of background writer goroutines
+// used when AsyncConfig leaves it zero.
+const DefaultWritebackWorkers = 2
+
+// AsyncConfig tunes the asynchronous I/O machinery of a pool built by
+// NewAsyncShardedPool. The zero value selects the defaults.
+type AsyncConfig struct {
+	// WritebackWorkers is the number of background goroutines writing
+	// dirty evicted pages to the store (default DefaultWritebackWorkers).
+	WritebackWorkers int
+	// WritebackQueue is the write-back queue capacity in pages (default
+	// DefaultWritebackQueue). When the queue is full, evictions fall back
+	// to a synchronous under-lock write — the backpressure path.
+	WritebackQueue int
+}
+
+// NewAsyncShardedPool builds a ShardedPool whose miss path performs
+// physical reads outside the shard lock: concurrent misses for the same
+// page coalesce into one read (per-shard singleflight) and dirty
+// evicted pages are written back by background workers instead of under
+// the lock. Semantics relative to the synchronous pool:
+//
+//   - Logical counters (Stats) are identical for single-threaded
+//     read-only workloads; under concurrency, coalesced misses are
+//     additionally counted in Stats.Coalesced, so DiskReads stays the
+//     physical read count.
+//   - Dirty write-backs are asynchronous. Flush, Clear and Close drain
+//     the queue before returning; until then the pool itself serves the
+//     queued versions on a miss (read-your-writes), never the stale
+//     store.
+//
+// Call Close when done with the pool to stop the writer goroutines; an
+// un-Closed pool leaks them but is otherwise harmless (they idle on an
+// empty queue).
+func NewAsyncShardedPool(store storage.Store, factory PolicyFactory, capacity, shards int, cfg AsyncConfig) (*ShardedPool, error) {
+	p, err := NewShardedPool(store, factory, capacity, shards)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.WritebackWorkers
+	if workers < 1 {
+		workers = DefaultWritebackWorkers
+	}
+	queueCap := cfg.WritebackQueue
+	if queueCap < 1 {
+		queueCap = DefaultWritebackQueue
+	}
+	p.async = true
+	p.store = store
+	p.wb = newWriteback(store, workers, queueCap)
+	for _, sh := range p.shards {
+		sh.flight = make(map[page.ID]*inflight)
+		sh.m.setWriteback(p.wb)
+	}
+	return p, nil
+}
+
+// Async reports whether the pool runs the asynchronous miss path.
+func (p *ShardedPool) Async() bool { return p.async }
+
+// Writeback returns a snapshot of the background write-back queue
+// counters; the zero snapshot for synchronous pools.
+func (p *ShardedPool) Writeback() WritebackMetrics {
+	if p.wb == nil {
+		return WritebackMetrics{}
+	}
+	return p.wb.metrics()
+}
+
 // shardIndex routes a page ID to its shard index. The murmur3 finalizer
 // mixes the (often dense, sequential) page IDs so neighbouring tree
 // nodes spread across shards instead of piling onto one.
@@ -123,14 +212,16 @@ func (p *ShardedPool) shardFor(id page.ID) *poolShard {
 }
 
 // lockShard acquires shard i's lock for a request, measuring the wait
-// when a contention profiler or tracer wants it.
-func (p *ShardedPool) lockShard(i int) *poolShard {
+// (0 when neither a contention profiler nor a tracer wants it). The
+// synchronous request paths deposit the wait with the shard's manager
+// for its root span; the async path attaches it to its own root span.
+func (p *ShardedPool) lockShard(i int) (*poolShard, int64) {
 	sh := p.shards[i]
 	c := p.contention.Load()
 	traced := p.traceWait.Load()
 	if c == nil && !traced {
 		sh.mu.Lock()
-		return sh
+		return sh, 0
 	}
 	if c != nil {
 		c.BeginWait(i)
@@ -141,10 +232,7 @@ func (p *ShardedPool) lockShard(i int) *poolShard {
 	if c != nil {
 		c.EndWait(i, wait)
 	}
-	if traced {
-		sh.m.depositLockWait(wait)
-	}
-	return sh
+	return sh, wait
 }
 
 // Shards returns the number of shards (≥ 1; may be lower than requested
@@ -181,44 +269,287 @@ func (p *ShardedPool) ShardStats(i int) Stats {
 }
 
 // Get implements Pool (and rtree.Reader): the request is served by the
-// page's shard under that shard's lock only.
+// page's shard. On a synchronous pool the whole request (including any
+// physical read) runs under the shard's lock; on an async pool only the
+// in-memory bookkeeping does.
 func (p *ShardedPool) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	sh := p.lockShard(p.shardIndex(id))
+	if p.async {
+		return p.asyncRequest(tracing.KindGet, id, ctx, false)
+	}
+	sh, wait := p.lockShard(p.shardIndex(id))
 	defer sh.mu.Unlock()
+	sh.m.depositLockWait(wait)
 	return sh.m.Get(id, ctx)
 }
 
-// Put implements Pool: the write path of the page's shard.
+// Put implements Pool: the write path of the page's shard. Put never
+// reads the store (the caller provides the content), so it runs under
+// the shard lock on async pools too; a dirty victim it evicts is still
+// queued for background write-back.
 func (p *ShardedPool) Put(pg *page.Page, ctx AccessContext) error {
 	if pg == nil || pg.ID == page.InvalidID {
 		return errors.New("buffer: put of invalid page")
 	}
-	sh := p.lockShard(p.shardIndex(pg.ID))
+	sh, wait := p.lockShard(p.shardIndex(pg.ID))
 	defer sh.mu.Unlock()
+	sh.m.depositLockWait(wait)
 	return sh.m.Put(pg, ctx)
 }
 
 // Fix implements Pool: pins the page in its shard.
 func (p *ShardedPool) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	sh := p.lockShard(p.shardIndex(id))
+	if p.async {
+		return p.asyncRequest(tracing.KindFix, id, ctx, true)
+	}
+	sh, wait := p.lockShard(p.shardIndex(id))
 	defer sh.mu.Unlock()
+	sh.m.depositLockWait(wait)
 	return sh.m.Fix(id, ctx)
 }
 
 // Unfix implements Pool.
 func (p *ShardedPool) Unfix(id page.ID) error {
-	sh := p.shardFor(id)
-	sh.mu.Lock()
+	sh, wait := p.lockShard(p.shardIndex(id))
 	defer sh.mu.Unlock()
+	sh.m.depositLockWait(wait)
 	return sh.m.Unfix(id)
 }
 
 // MarkDirty implements Pool.
 func (p *ShardedPool) MarkDirty(id page.ID) error {
-	sh := p.shardFor(id)
-	sh.mu.Lock()
+	sh, wait := p.lockShard(p.shardIndex(id))
 	defer sh.mu.Unlock()
+	sh.m.depositLockWait(wait)
 	return sh.m.MarkDirty(id)
+}
+
+// asyncRequest serves a Get (pin=false) or Fix (pin=true) on an async
+// pool, timing the request when the sink asked for latencies and
+// tracing it when the tracer sampled it. Latency brackets the work
+// after lock acquisition, matching the synchronous path's timing scope.
+func (p *ShardedPool) asyncRequest(kind tracing.SpanKind, id page.ID, ctx AccessContext, pin bool) (*page.Page, error) {
+	i := p.shardIndex(id)
+	sh, wait := p.lockShard(i)
+
+	timer := sh.m.latencyTimer()
+	var start time.Time
+	if timer != nil {
+		start = time.Now()
+	}
+	var a *tracing.Active
+	if t := sh.m.Tracer(); t != nil {
+		a = t.StartRequest(kind, id, ctx.QueryID, i, wait)
+	}
+
+	pg, hit, err := p.asyncServe(sh, a, id, ctx, pin)
+
+	if timer != nil {
+		timer.RecordLatency(time.Since(start).Nanoseconds())
+	}
+	a.Finish(hit, err != nil)
+	return pg, err
+}
+
+// asyncServe is the non-blocking miss protocol. It is entered with
+// sh.mu held and always returns with it released. Under the lock it
+// checks, in order: the resident frames (hit), the shard's singleflight
+// table (coalesce onto an in-progress read), and the write-back queue
+// (read-your-writes: a queued dirty page is re-admitted without I/O).
+// Only when all three miss does it become the leader: it registers an
+// inflight entry, releases the lock, reads the store, and re-acquires
+// the lock to publish the result to any waiters and admit the page.
+//
+// counted flips when the request has been accounted (exactly one
+// Request event per call); the loop only repeats for Fix waiters, whose
+// pin requires a resident frame and who therefore retry after the
+// leader's publication until they can pin (or become leaders
+// themselves).
+func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, ctx AccessContext, pin bool) (*page.Page, bool, error) {
+	m := sh.m
+	counted := false
+	for {
+		// The shard's Active slot carries the trace to the policy and the
+		// traced store while we hold the lock; it must be parked (and
+		// cleared before every unlock) because other requests use the
+		// shard — and the slot — while we wait or read.
+		if a != nil {
+			m.slot.SetActive(a)
+		}
+
+		if fr := m.frame(id); fr != nil {
+			hit := false
+			if !counted {
+				m.hitLocked(fr, ctx)
+				hit = true
+			}
+			if pin {
+				fr.pins++
+			}
+			res := fr.Page
+			if a != nil {
+				m.slot.SetActive(nil)
+			}
+			sh.mu.Unlock()
+			return res, hit, nil
+		}
+
+		if fl, ok := sh.flight[id]; ok {
+			// Another request is reading this page right now: count a
+			// coalesced miss and wait for its result outside the lock.
+			if !counted {
+				m.missLocked(id, ctx, true)
+				counted = true
+			}
+			if a != nil {
+				m.slot.SetActive(nil)
+			}
+			sh.mu.Unlock()
+
+			widx := int32(-1)
+			if a != nil {
+				widx = a.Start(tracing.KindIOWait)
+			}
+			<-fl.done
+			if a != nil {
+				sp := a.At(widx)
+				sp.Page = id
+				sp.Hit = true // coalesced: shared another request's read
+				a.End(widx)
+			}
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			if !pin {
+				// Get needs only the bytes; the leader admitted (or
+				// resolved) the page, no re-lock required.
+				return fl.page, false, nil
+			}
+			// Fix must pin a resident frame; retry under the lock (the
+			// frame may already be evicted again, in which case the loop
+			// coalesces or leads a fresh read — without recounting).
+			sh.mu.Lock()
+			continue
+		}
+
+		if pg, ok := p.wb.take(id); ok {
+			// The page sits in the write-back queue: the store still holds
+			// stale bytes, so the queued version is re-admitted directly —
+			// no I/O — and stays dirty (its canceled write must eventually
+			// happen via a later eviction or Flush).
+			var now uint64
+			if !counted {
+				now = m.missLocked(id, ctx, true)
+				counted = true
+			} else {
+				now = m.tickLocked()
+			}
+			fr, err := m.admitLocked(pg, now, ctx)
+			if a != nil {
+				m.slot.SetActive(nil)
+			}
+			if err != nil {
+				// Admission failed (all frames pinned): the dirty page must
+				// not be lost — put its write back in motion.
+				if !p.wb.enqueue(pg) {
+					if werr := p.store.Write(pg); werr != nil {
+						err = errors.Join(err, werr)
+					}
+				}
+				sh.mu.Unlock()
+				return nil, false, err
+			}
+			fr.Dirty = true
+			if pin {
+				fr.pins++
+			}
+			res := fr.Page
+			sh.mu.Unlock()
+			return res, false, nil
+		}
+
+		// Leader: register the read and perform it outside the lock.
+		var now uint64
+		if !counted {
+			now = m.missLocked(id, ctx, false)
+			counted = true
+		} else {
+			now = m.tickLocked()
+		}
+		fl := &inflight{done: make(chan struct{})}
+		sh.flight[id] = fl
+		if a != nil {
+			m.slot.SetActive(nil)
+		}
+		sh.mu.Unlock()
+
+		ridx := int32(-1)
+		if a != nil {
+			ridx = a.Start(tracing.KindStoreRead)
+		}
+		rpg, rerr := p.store.Read(id)
+		if a != nil {
+			sp := a.At(ridx)
+			sp.Page = id
+			sp.Err = rerr != nil
+			if rpg != nil {
+				sp.Bytes = int32(storage.PageBytes(rpg))
+			}
+			a.End(ridx)
+		}
+
+		sh.mu.Lock()
+		if a != nil {
+			m.slot.SetActive(a)
+		}
+		published := rpg
+		var fr *Frame
+		var aerr error
+		if rerr == nil {
+			if fr = m.frame(id); fr != nil {
+				// A Put raced the page in while we read: its version is
+				// newer — serve it and discard the read.
+				published = fr.Page
+			} else if pg, ok := p.wb.take(id); ok {
+				// Re-admitted dirty (by a Put) and evicted again while we
+				// read: the queued version is newer than our read.
+				published = pg
+				fr, aerr = m.admitLocked(pg, now, ctx)
+				if fr != nil {
+					fr.Dirty = true
+				} else if !p.wb.enqueue(pg) {
+					if werr := p.store.Write(pg); werr != nil {
+						aerr = errors.Join(aerr, werr)
+					}
+				}
+			} else {
+				fr, aerr = m.admitLocked(rpg, now, ctx)
+			}
+		}
+		// Publish: fields first, then unregister, then close — all under
+		// the lock, so the close happens-before any waiter's field read
+		// and a failed read leaves no residue for later misses. Waiters
+		// get the resolved bytes even when only admission failed
+		// (ErrAllPinned is the leader's error, not theirs).
+		fl.page, fl.err = published, rerr
+		delete(sh.flight, id)
+		close(fl.done)
+		if a != nil {
+			m.slot.SetActive(nil)
+		}
+		if rerr != nil || aerr != nil {
+			sh.mu.Unlock()
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			return nil, false, aerr
+		}
+		if pin {
+			fr.pins++
+		}
+		res := fr.Page
+		sh.mu.Unlock()
+		return res, false, nil
+	}
 }
 
 // Contains reports whether the page is resident in its shard, without
@@ -230,8 +561,19 @@ func (p *ShardedPool) Contains(id page.ID) bool {
 	return sh.m.Contains(id)
 }
 
-// Flush writes back all dirty resident pages, shard by shard.
+// Flush writes back all dirty resident pages, shard by shard. On an
+// async pool it first drains the background write-back queue, so when
+// Flush returns every write-back decided before the call is durable.
+// The drain comes first deliberately: queued pages are never resident
+// (re-admission cancels their queued write), so the two write sets are
+// disjoint, and draining first means no background writer is still
+// running behind the per-shard flushes.
 func (p *ShardedPool) Flush() error {
+	if p.wb != nil {
+		if err := p.wb.drain(); err != nil {
+			return fmt.Errorf("buffer: write-back drain: %w", err)
+		}
+	}
 	for i, sh := range p.shards {
 		sh.mu.Lock()
 		err := sh.m.Flush()
@@ -243,11 +585,34 @@ func (p *ShardedPool) Flush() error {
 	return nil
 }
 
+// Close flushes the pool (draining the write-back queue) and stops the
+// background writer goroutines. The pool remains usable afterwards —
+// with the queue closed, dirty evictions fall back to synchronous
+// writes. Synchronous pools treat Close as Flush.
+func (p *ShardedPool) Close() error {
+	err := p.Flush()
+	if p.wb != nil {
+		if cerr := p.wb.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 // Clear evicts everything, resets every shard's policy and zeroes all
 // counters. Shards are cleared one at a time; concurrent requests
 // against not-yet-cleared shards proceed normally, so quiesce the pool
 // first when a globally cold start matters.
 func (p *ShardedPool) Clear() error {
+	if p.wb != nil {
+		// Write queued pages out before the reset, and clear the sticky
+		// write error either way — Clear zeroes all accounting.
+		err := p.wb.drain()
+		p.wb.resetErr()
+		if err != nil {
+			return fmt.Errorf("buffer: write-back drain: %w", err)
+		}
+	}
 	for i, sh := range p.shards {
 		sh.mu.Lock()
 		err := sh.m.Clear()
@@ -324,6 +689,9 @@ func (p *ShardedPool) SetTracer(t *tracing.Tracer) {
 		sh.mu.Lock()
 		sh.m.SetTracer(t, i)
 		sh.mu.Unlock()
+	}
+	if p.wb != nil {
+		p.wb.setTracer(t)
 	}
 	p.traceWait.Store(t != nil)
 }

@@ -81,16 +81,19 @@ func (s *SyncManager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
 	return s.m.Fix(id, ctx)
 }
 
-// Unfix releases a pin (see Manager.Unfix).
+// Unfix releases a pin (see Manager.Unfix). Like the other request
+// methods it routes through lockRequest, so contention profiling and
+// traced root spans cover pin releases too.
 func (s *SyncManager) Unfix(id page.ID) error {
-	s.mu.Lock()
+	s.lockRequest()
 	defer s.mu.Unlock()
 	return s.m.Unfix(id)
 }
 
-// MarkDirty flags a resident page for write-back (see Manager.MarkDirty).
+// MarkDirty flags a resident page for write-back (see Manager.MarkDirty),
+// routed through lockRequest like every other request method.
 func (s *SyncManager) MarkDirty(id page.ID) error {
-	s.mu.Lock()
+	s.lockRequest()
 	defer s.mu.Unlock()
 	return s.m.MarkDirty(id)
 }

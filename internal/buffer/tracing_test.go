@@ -78,10 +78,14 @@ func TestManagerTracedWriteBack(t *testing.T) {
 	}
 
 	traces := tr.Traces(0)
-	if len(traces) != 3 {
-		t.Fatalf("got %d traces, want 3 (2 gets + flush)", len(traces))
+	if len(traces) != 5 {
+		t.Fatalf("got %d traces, want 5 (2 gets + 2 markdirties + flush)", len(traces))
 	}
-	evict := traces[1]
+	md := traces[1]
+	if md[0].Kind != tracing.KindMarkDirty || !md[0].Hit || md[0].Page != 1 {
+		t.Fatalf("bad markdirty root: %+v", md[0])
+	}
+	evict := traces[2]
 	var wrote bool
 	for _, sp := range evict {
 		if sp.Kind == tracing.KindStoreWrite && sp.Page == 1 {
@@ -91,7 +95,7 @@ func TestManagerTracedWriteBack(t *testing.T) {
 	if !wrote {
 		t.Fatalf("eviction trace lacks write-back span: %+v", evict)
 	}
-	flush := traces[2]
+	flush := traces[4]
 	if flush[0].Kind != tracing.KindFlush {
 		t.Fatalf("bad flush root: %+v", flush[0])
 	}

@@ -1,0 +1,288 @@
+package buffer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs/tracing"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// DefaultWritebackQueue is the write-back queue capacity (in pages) used
+// when AsyncConfig leaves it zero.
+const DefaultWritebackQueue = 1024
+
+// writeback is the background write-back machinery of an async pool:
+// dirty evicted pages are enqueued under the shard lock (never
+// blocking — a full queue falls back to a synchronous write, which is
+// the backpressure path) and written to the store by a fixed set of
+// writer goroutines.
+//
+// Invariants:
+//
+//   - pending holds the newest unwritten version of every queued page;
+//     a page is in pending from enqueue until its write completed (or
+//     until take cancels it because the page was re-admitted).
+//   - Re-enqueueing a page that is already pending replaces the entry
+//     in place (gen bump) without a second queue slot: consecutive
+//     write-backs of a hot dirty page coalesce into one physical write.
+//   - A miss for a pending page must be served from pending (take),
+//     never from the store — the store still holds stale bytes.
+//   - drain returns only when pending is empty and no write is in
+//     flight, so Flush/Clear/Close get a true durability barrier.
+//
+// Write errors are sticky: the first one is kept and returned by
+// drain/close (the erroring page is dropped after being counted, so a
+// broken store cannot wedge the queue).
+type writeback struct {
+	store storage.Store
+	// tracer, when non-nil, records one sampled root span per physical
+	// background write (KindWriteback), so Perfetto timelines show the
+	// write landing after the eviction that queued it.
+	tracer atomic.Pointer[tracing.Tracer]
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[page.ID]*wbEntry
+	inFlight int
+	closed   bool
+	err      error
+	queue    chan page.ID
+	wg       sync.WaitGroup
+
+	workers   int
+	queued    atomic.Uint64
+	written   atomic.Uint64
+	coalesced atomic.Uint64
+	canceled  atomic.Uint64
+	fallbacks atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// wbEntry is one pending page: the newest version and a generation
+// counter bumped on every in-place replacement, so a writer can detect
+// that a newer version arrived while it was writing the previous one.
+type wbEntry struct {
+	page *page.Page
+	gen  uint64
+}
+
+// newWriteback starts workers writer goroutines over a queue of
+// queueCap page slots.
+func newWriteback(store storage.Store, workers, queueCap int) *writeback {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = DefaultWritebackQueue
+	}
+	w := &writeback{
+		store:   store,
+		pending: make(map[page.ID]*wbEntry),
+		queue:   make(chan page.ID, queueCap),
+		workers: workers,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go w.worker()
+	}
+	return w
+}
+
+// setTracer attaches (nil detaches) the span tracer the writers record
+// KindWriteback spans into.
+func (w *writeback) setTracer(t *tracing.Tracer) { w.tracer.Store(t) }
+
+// enqueue implements writebackEnqueuer. Called under a shard lock, so
+// it must never block: a full or closed queue returns false and the
+// caller writes synchronously (backpressure).
+func (w *writeback) enqueue(p *page.Page) bool {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return false
+	}
+	if e, ok := w.pending[p.ID]; ok {
+		// Already queued (or mid-write): replace in place. The writer
+		// re-checks the generation after its write and redoes it.
+		e.page = p
+		e.gen++
+		w.mu.Unlock()
+		w.coalesced.Add(1)
+		return true
+	}
+	select {
+	case w.queue <- p.ID:
+	default:
+		w.mu.Unlock()
+		w.fallbacks.Add(1)
+		return false
+	}
+	w.pending[p.ID] = &wbEntry{page: p, gen: 1}
+	w.mu.Unlock()
+	w.queued.Add(1)
+	return true
+}
+
+// take removes and returns the pending version of id, if any — the
+// read-your-writes path of the miss protocol: a miss on a page whose
+// write-back has not landed yet must get the queued bytes, not the
+// stale store, and re-admitting the page as dirty cancels the queued
+// write (the next eviction or flush writes the newer version).
+func (w *writeback) take(id page.ID) (*page.Page, bool) {
+	w.mu.Lock()
+	e, ok := w.pending[id]
+	if !ok {
+		w.mu.Unlock()
+		return nil, false
+	}
+	delete(w.pending, id)
+	if len(w.pending) == 0 && w.inFlight == 0 {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+	w.canceled.Add(1)
+	return e.page, true
+}
+
+// worker drains the queue until close.
+func (w *writeback) worker() {
+	defer w.wg.Done()
+	for id := range w.queue {
+		w.write(id)
+	}
+}
+
+// write performs the physical write for one dequeued page ID, redoing
+// it as long as newer versions keep arriving mid-write.
+func (w *writeback) write(id page.ID) {
+	w.mu.Lock()
+	e, ok := w.pending[id]
+	if !ok {
+		// Canceled by take between enqueue and dequeue.
+		w.mu.Unlock()
+		return
+	}
+	w.inFlight++
+	for {
+		p, gen := e.page, e.gen
+		w.mu.Unlock()
+
+		var err error
+		if a := w.tracer.Load().StartRequest(tracing.KindWriteback, p.ID, 0, 0, 0); a != nil {
+			idx := a.Start(tracing.KindStoreWrite)
+			err = w.store.Write(p)
+			sp := a.At(idx)
+			sp.Page = p.ID
+			sp.Err = err != nil
+			sp.Bytes = int32(storage.PageBytes(p))
+			a.End(idx)
+			a.Finish(false, err != nil)
+		} else {
+			err = w.store.Write(p)
+		}
+		if err != nil {
+			w.errors.Add(1)
+		} else {
+			w.written.Add(1)
+		}
+
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		if cur, ok := w.pending[id]; ok && cur == e {
+			if cur.gen != gen {
+				// A newer version was enqueued while we were writing the
+				// previous one: write again so the store ends newest.
+				continue
+			}
+			delete(w.pending, id)
+		}
+		break
+	}
+	w.inFlight--
+	if len(w.pending) == 0 && w.inFlight == 0 {
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// drain blocks until every queued page has been written (or canceled by
+// take) and no write is in flight, then returns the sticky error.
+// Must not be called while holding a shard lock.
+func (w *writeback) drain() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.pending) > 0 || w.inFlight > 0 {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// resetErr clears the sticky write error (Pool.Clear zeroes all
+// accounting, including this).
+func (w *writeback) resetErr() {
+	w.mu.Lock()
+	w.err = nil
+	w.mu.Unlock()
+}
+
+// close drains the queue, stops the writer goroutines and returns the
+// sticky error. After close, enqueue returns false, so the owning pool
+// degrades to synchronous write-back instead of breaking.
+func (w *writeback) close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.err
+	}
+	w.closed = true
+	w.mu.Unlock()
+
+	err := w.drain()
+	close(w.queue)
+	w.wg.Wait()
+	return err
+}
+
+// WritebackMetrics is a snapshot of the write-back queue counters, for
+// gauges and tests. Counter fields are cumulative over the queue's
+// lifetime (they survive Clear, like the contention profiler).
+type WritebackMetrics struct {
+	// Workers is the number of background writer goroutines.
+	Workers int
+	// QueueCap and Depth are the queue capacity and its current fill.
+	QueueCap, Depth int
+	// Pending is the number of pages currently awaiting (or undergoing)
+	// their physical write.
+	Pending int
+	// Queued counts pages accepted into the queue; Written counts
+	// completed physical writes; Coalesced counts re-enqueues that
+	// replaced a pending entry in place; Canceled counts queued writes
+	// canceled because the page was re-admitted dirty; Fallbacks counts
+	// evictions written synchronously because the queue was full;
+	// Errors counts failed physical writes.
+	Queued, Written, Coalesced, Canceled, Fallbacks, Errors uint64
+}
+
+// metrics returns a point-in-time snapshot of the queue counters.
+func (w *writeback) metrics() WritebackMetrics {
+	w.mu.Lock()
+	pending := len(w.pending)
+	w.mu.Unlock()
+	return WritebackMetrics{
+		Workers:   w.workers,
+		QueueCap:  cap(w.queue),
+		Depth:     len(w.queue),
+		Pending:   pending,
+		Queued:    w.queued.Load(),
+		Written:   w.written.Load(),
+		Coalesced: w.coalesced.Load(),
+		Canceled:  w.canceled.Load(),
+		Fallbacks: w.fallbacks.Load(),
+		Errors:    w.errors.Load(),
+	}
+}

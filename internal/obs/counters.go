@@ -64,6 +64,7 @@ type Counters struct {
 	requests    atomic.Uint64
 	hits        atomic.Uint64
 	misses      atomic.Uint64
+	coalesced   atomic.Uint64
 	evictions   atomic.Uint64
 	promotions  atomic.Uint64
 	adaptations atomic.Uint64
@@ -89,6 +90,9 @@ func (c *Counters) Request(e RequestEvent) {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
+		if e.Coalesced {
+			c.coalesced.Add(1)
+		}
 	}
 }
 
@@ -173,6 +177,7 @@ type Snapshot struct {
 	Requests    uint64 `json:"requests"`
 	Hits        uint64 `json:"hits"`
 	Misses      uint64 `json:"misses"`
+	Coalesced   uint64 `json:"coalesced_reads"`
 	Evictions   uint64 `json:"evictions"`
 	Promotions  uint64 `json:"overflow_promotions"`
 	Adaptations uint64 `json:"adaptations"`
@@ -201,6 +206,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Requests:    c.requests.Load(),
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
 		Evictions:   c.evictions.Load(),
 		Promotions:  c.promotions.Load(),
 		Adaptations: c.adaptations.Load(),

@@ -20,9 +20,12 @@ import (
 //	{"t":"adapt","old":12,"new":13}
 //	{"t":"mark","label":"phase 2"}
 //
-// Events from a sharded pool additionally carry `,"shard":N` before the
-// closing brace; shard 0 (which includes every unsharded pool) is
-// omitted, so single-pool streams keep the exact format above.
+// Misses that shared another request's physical read (singleflight or
+// write-back-queue hits on an async pool) carry `,"coalesced":true`
+// after the hit field; the field is omitted otherwise. Events from a
+// sharded pool additionally carry `,"shard":N` before the closing
+// brace; shard 0 (which includes every unsharded pool) is omitted, so
+// single-pool streams keep the exact format above.
 type JSONLSink struct {
 	w   *bufio.Writer
 	c   io.Closer // non-nil if the sink owns the underlying writer
@@ -97,6 +100,9 @@ func (s *JSONLSink) Request(e RequestEvent) {
 	b = strconv.AppendUint(b, e.QueryID, 10)
 	b = append(b, `,"hit":`...)
 	b = strconv.AppendBool(b, e.Hit)
+	if e.Coalesced {
+		b = append(b, `,"coalesced":true`...)
+	}
 	b = appendShard(b, e.Shard)
 	b = append(b, '}')
 	s.buf = b

@@ -316,6 +316,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	count("spatialbuf_hits_total", "", c.Hits)
 	metric("spatialbuf_misses_total", "Buffer misses (physical reads).", "counter")
 	count("spatialbuf_misses_total", "", c.Misses)
+	metric("spatialbuf_coalesced_reads_total", "Misses served without their own physical read (singleflight or write-back queue).", "counter")
+	count("spatialbuf_coalesced_reads_total", "", c.Coalesced)
 	metric("spatialbuf_hit_ratio", "Cumulative hit ratio.", "gauge")
 	sample("spatialbuf_hit_ratio", "", c.HitRatio())
 

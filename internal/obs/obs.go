@@ -36,6 +36,11 @@ type RequestEvent struct {
 	QueryID uint64
 	Hit     bool
 	Shard   int
+	// Coalesced marks a miss that performed no physical read of its own:
+	// it shared another request's in-flight read (singleflight) or was
+	// served from the background write-back queue. Always false for hits
+	// and on synchronous pools.
+	Coalesced bool
 }
 
 // Eviction reasons. Constants rather than free-form strings so sinks can

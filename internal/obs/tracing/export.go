@@ -25,7 +25,7 @@ type chromeEvent struct {
 func spanArgs(sp Span) map[string]any {
 	args := make(map[string]any, 8)
 	switch sp.Kind {
-	case KindGet, KindPut, KindFix:
+	case KindGet, KindPut, KindFix, KindUnfix, KindMarkDirty:
 		args["page"] = uint64(sp.Page)
 		args["query"] = sp.QueryID
 		args["hit"] = sp.Hit
@@ -48,9 +48,12 @@ func spanArgs(sp Span) map[string]any {
 		args["better_spatial"] = sp.BetterSpatial
 		args["better_lru"] = sp.BetterLRU
 		args["page"] = uint64(sp.Page)
-	case KindStoreRead, KindStoreWrite:
+	case KindStoreRead, KindStoreWrite, KindWriteback:
 		args["page"] = uint64(sp.Page)
 		args["bytes"] = sp.Bytes
+	case KindIOWait:
+		args["page"] = uint64(sp.Page)
+		args["coalesced"] = sp.Hit
 	}
 	if sp.Err {
 		args["error"] = true
@@ -158,7 +161,8 @@ func WriteSpansJSONL(w io.Writer, traces [][]Span) error {
 				Rank: sp.Rank, OldC: sp.OldC, NewC: sp.NewC,
 				BSpatial: sp.BetterSpatial, BLRU: sp.BetterLRU, Bytes: sp.Bytes,
 			}
-			if sp.Parent == -1 && (sp.Kind == KindGet || sp.Kind == KindPut || sp.Kind == KindFix) {
+			if sp.Parent == -1 && (sp.Kind == KindGet || sp.Kind == KindPut || sp.Kind == KindFix ||
+				sp.Kind == KindUnfix || sp.Kind == KindMarkDirty) {
 				hit := sp.Hit
 				row.Hit = &hit
 			}

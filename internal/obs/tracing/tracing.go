@@ -52,6 +52,19 @@ const (
 	KindStoreRead
 	// KindStoreWrite is a physical page write (write-back or flush).
 	KindStoreWrite
+	// KindUnfix is a pin release (root span): cheap and memory-only, but
+	// traced so pin leaks line up with the Fix that created them.
+	KindUnfix
+	// KindMarkDirty is a dirty flagging (root span).
+	KindMarkDirty
+	// KindIOWait covers the part of a miss spent outside the shard lock:
+	// either this request's own store read or the wait for another
+	// request's coalesced read. Its extent inside the root span shows
+	// exactly how much of the miss ran without blocking the shard.
+	KindIOWait
+	// KindWriteback is one background write-back of a dirty evicted
+	// page, recorded by the writer goroutine (root span).
+	KindWriteback
 )
 
 // String implements fmt.Stringer; the names double as Chrome trace
@@ -74,6 +87,14 @@ func (k SpanKind) String() string {
 		return "store.Read"
 	case KindStoreWrite:
 		return "store.Write"
+	case KindUnfix:
+		return "Unfix"
+	case KindMarkDirty:
+		return "MarkDirty"
+	case KindIOWait:
+		return "io-wait"
+	case KindWriteback:
+		return "writeback"
 	default:
 		return "unknown"
 	}

@@ -4,22 +4,46 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/page"
 )
+
+// pageBufPool recycles page-size scratch buffers for FileStore encode
+// and decode. A sync.Pool instead of a per-store buffer lets any number
+// of goroutines read and write concurrently without serializing on a
+// shared scratch area.
+var pageBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, PageSize)
+		return &b
+	},
+}
 
 // FileStore is a Store persisting pages in a single file of fixed-size
 // slots: page ID n lives at byte offset (n−1)·PageSize. It exists for
 // realism (binary serialization, durable databases, sequential-vs-random
 // accounting against real offsets); the experiment harness uses MemStore.
+//
+// FileStore is safe for concurrent use without any internal lock: I/O
+// goes through positioned ReadAt/WriteAt (independent pread/pwrite
+// calls, no shared file offset), scratch buffers come from a pool, and
+// the counters are atomics — so concurrent misses of an async buffer
+// pool really do overlap in the kernel instead of serializing here.
 type FileStore struct {
-	mu       sync.Mutex
-	f        *os.File
-	next     page.ID
-	stats    Stats
-	lastRead page.ID
-	hasLast  bool
-	buf      [PageSize]byte
+	f    *os.File
+	next atomic.Uint64
+
+	reads      atomic.Uint64
+	writes     atomic.Uint64
+	sequential atomic.Uint64
+	// lastRead holds the most recently read page ID, 0 before the first
+	// read (page.InvalidID is 0, so no valid read is ever adjacent to
+	// the sentinel). Under concurrent readers "the previous read" is
+	// whichever racer stored last — the sequentiality counter is a
+	// workload heuristic, not an exact series, and stays monotonic and
+	// race-free either way.
+	lastRead atomic.Uint64
 }
 
 // CreateFileStore creates (or truncates) the file at path and returns an
@@ -29,7 +53,9 @@ func CreateFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create file store: %w", err)
 	}
-	return &FileStore{f: f, next: 1}, nil
+	s := &FileStore{f: f}
+	s.next.Store(1)
+	return s, nil
 }
 
 // OpenFileStore opens an existing page file created by CreateFileStore.
@@ -47,16 +73,14 @@ func OpenFileStore(path string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: %s: size %d not a multiple of page size", path, fi.Size())
 	}
-	return &FileStore{f: f, next: page.ID(fi.Size()/PageSize) + 1}, nil
+	s := &FileStore{f: f}
+	s.next.Store(uint64(fi.Size()/PageSize) + 1)
+	return s, nil
 }
 
 // Allocate implements Store.
 func (s *FileStore) Allocate() page.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.next
-	s.next++
-	return id
+	return page.ID(s.next.Add(1) - 1)
 }
 
 // Write implements Store.
@@ -64,73 +88,71 @@ func (s *FileStore) Write(p *page.Page) error {
 	if p == nil || p.ID == page.InvalidID {
 		return fmt.Errorf("storage: write of invalid page")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p.ID >= s.next {
+	if uint64(p.ID) >= s.next.Load() {
 		return fmt.Errorf("storage: write of unallocated page %d", p.ID)
 	}
-	if err := EncodePage(p, s.buf[:]); err != nil {
+	bufp := pageBufPool.Get().(*[]byte)
+	defer pageBufPool.Put(bufp)
+	buf := *bufp
+	if err := EncodePage(p, buf); err != nil {
 		return err
 	}
-	if _, err := s.f.WriteAt(s.buf[:], int64(p.ID-1)*PageSize); err != nil {
+	if _, err := s.f.WriteAt(buf, int64(p.ID-1)*PageSize); err != nil {
 		return fmt.Errorf("storage: write page %d: %w", p.ID, err)
 	}
-	s.stats.Writes++
+	s.writes.Add(1)
 	return nil
 }
 
 // Read implements Store.
 func (s *FileStore) Read(id page.ID) (*page.Page, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if id == page.InvalidID || id >= s.next {
+	if id == page.InvalidID || uint64(id) >= s.next.Load() {
 		return nil, fmt.Errorf("storage: read page %d: %w", id, ErrPageNotFound)
 	}
-	if _, err := s.f.ReadAt(s.buf[:], int64(id-1)*PageSize); err != nil {
+	bufp := pageBufPool.Get().(*[]byte)
+	defer pageBufPool.Put(bufp)
+	buf := *bufp
+	if _, err := s.f.ReadAt(buf, int64(id-1)*PageSize); err != nil {
 		return nil, fmt.Errorf("storage: read page %d: %w", id, err)
 	}
-	p, err := DecodePage(s.buf[:])
+	p, err := DecodePage(buf)
 	if err != nil {
 		return nil, err
 	}
 	if p.ID != id {
 		return nil, fmt.Errorf("storage: page %d slot holds page %d (never written?)", id, p.ID)
 	}
-	s.stats.Reads++
-	if s.hasLast && id == s.lastRead+1 {
-		s.stats.Sequential++
+	s.reads.Add(1)
+	if prev := s.lastRead.Swap(uint64(id)); prev != 0 && uint64(id) == prev+1 {
+		s.sequential.Add(1)
 	}
-	s.lastRead = id
-	s.hasLast = true
 	return p, nil
 }
 
 // NumPages implements Store.
 func (s *FileStore) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return int(s.next - 1)
+	return int(s.next.Load() - 1)
 }
 
-// Stats implements Store.
+// Stats implements Store. Under concurrent I/O the three counters are
+// individually, not mutually, consistent — the usual scrape contract.
 func (s *FileStore) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Reads:      s.reads.Load(),
+		Writes:     s.writes.Load(),
+		Sequential: s.sequential.Load(),
+	}
 }
 
 // ResetStats implements Store.
 func (s *FileStore) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
-	s.lastRead = 0
-	s.hasLast = false
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.sequential.Store(0)
+	s.lastRead.Store(0)
 }
 
 // Close implements Store.
 func (s *FileStore) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.f.Close()
 }
