@@ -32,6 +32,14 @@
 // Tracing also enables the shard-contention profiler: per-shard lock
 // wait, queue depth and acquisition counts under
 // spatialbuf_shard_lock_* on /metrics.
+//
+// The shadow-cache profiler is on by default: metadata-only ghost
+// caches replay the live request stream against the -shadow what-if
+// policies at the real capacity and against the real policy at the
+// -shadow-ladder capacity multipliers (the online miss-ratio curve),
+// exported as spatialbuf_shadow_* gauges, streamed at /events/shadow
+// (SSE) and rendered as a dashboard panel. -shadow "" turns it off;
+// -shadow-sample N trades fidelity for event-rate headroom.
 package main
 
 import (
@@ -45,6 +53,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -54,8 +64,32 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/shadow"
 	"repro/internal/obs/tracing"
 )
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseLadder parses the comma-separated capacity multipliers, ignoring
+// malformed entries.
+func parseLadder(s string) []float64 {
+	var out []float64
+	for _, part := range splitList(s) {
+		if v, err := strconv.ParseFloat(part, 64); err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
 
 type config struct {
 	addr     string
@@ -79,6 +113,10 @@ type config struct {
 
 	wbWorkers int
 	wbQueue   int
+
+	shadowPolicies string
+	shadowLadder   string
+	shadowSample   int
 }
 
 func main() {
@@ -102,6 +140,9 @@ func main() {
 	flag.IntVar(&cfg.traceBuf, "trace-buf", 256, "completed traces retained per shard ring")
 	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with shards > 1: background dirty-page writer goroutines")
 	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with shards > 1: write-back queue capacity in pages")
+	flag.StringVar(&cfg.shadowPolicies, "shadow", "LRU,SLRU 50%,ASB", "comma-separated what-if policies simulated by shadow caches at the real capacity (empty disables shadow profiling)")
+	flag.StringVar(&cfg.shadowLadder, "shadow-ladder", "0.5,1,2,4", "capacity multipliers the real policy is shadow-simulated at (the online miss-ratio curve)")
+	flag.IntVar(&cfg.shadowSample, "shadow-sample", 1, "feed the shadow bank 1 in N request events")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -204,6 +245,14 @@ func run(cfg config) error {
 			func() float64 { return float64(sp.Writeback().Coalesced) })
 		svc.AddGauge("spatialbuf_writeback_fallbacks_total", "Evictions written synchronously because the queue was full.",
 			func() float64 { return float64(sp.Writeback().Fallbacks) })
+		svc.AddGauge("spatialbuf_writeback_queue_capacity", "Write-back queue capacity in pages.",
+			func() float64 { return float64(sp.Writeback().QueueCap) })
+		svc.AddGauge("spatialbuf_writeback_canceled_total", "Queued write-backs canceled because the page was re-admitted before its write ran.",
+			func() float64 { return float64(sp.Writeback().Canceled) })
+		svc.AddGauge("spatialbuf_writeback_errors_total", "Background page writes that failed.",
+			func() float64 { return float64(sp.Writeback().Errors) })
+		svc.AddGauge("spatialbuf_inflight_reads", "Physical reads currently in flight across all shards (singleflight leaders).",
+			func() float64 { return float64(sp.InflightReads()) })
 		var asbParts []live.ASBGauges
 		for i := 0; i < sp.Shards(); i++ {
 			svc.AddLabeledGauge("spatialbuf_shard_resident_pages",
@@ -258,6 +307,23 @@ func run(cfg config) error {
 		async = live.NewAsyncSink(obs.NewSamplingSink(jsonl, cfg.sample), cfg.ring, svc.Counters.AddDropped)
 		sinks = append(sinks, async)
 		svc.AddAsyncSinkGauges(async)
+	}
+	var shadowAsync *live.AsyncSink
+	if cfg.shadowPolicies != "" {
+		specs := shadow.Specs(cfg.policy, frames, splitList(cfg.shadowPolicies), parseLadder(cfg.shadowLadder))
+		bank, err := shadow.NewBank(specs, core.Resolver, 0)
+		if err != nil {
+			return err
+		}
+		// The bank replays every event through all its ghost caches under
+		// one mutex, so it lives behind its own async ring: the request
+		// path pays one non-blocking channel send (before sampling, if
+		// -shadow-sample > 1), never the simulation cost.
+		shadowAsync = live.NewAsyncSink(bank, cfg.ring, svc.Counters.AddDropped)
+		sinks = append(sinks, obs.NewSamplingSink(shadowAsync, cfg.shadowSample))
+		svc.AddShadowGauges(bank)
+		fmt.Printf("bufserve: shadow profiler: %d ghost caches (policies %s at %d frames; %s ladder %s)\n",
+			bank.Len(), cfg.shadowPolicies, frames, cfg.policy, cfg.shadowLadder)
 	}
 	pool.SetSink(obs.Tee(sinks...))
 
@@ -324,6 +390,11 @@ func run(cfg config) error {
 			fmt.Fprintf(os.Stderr, "bufserve: closing event sink: %v\n", err)
 		}
 		fmt.Printf("bufserve: event capture: %d delivered, %d dropped\n", async.Delivered(), async.Dropped())
+	}
+	if shadowAsync != nil {
+		if err := shadowAsync.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "bufserve: closing shadow sink: %v\n", err)
+		}
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -22,7 +22,10 @@
 //
 // Observability: -events FILE re-replays an ad-hoc sweep sequentially
 // with a JSONL event sink attached (one "mark" line per combination);
-// -window N prints windowed hit ratios per combination; -ctraj FILE runs
+// -window N prints windowed hit ratios per combination; -shadow lists
+// what-if policies simulated by metadata-only shadow caches during the
+// replays (with the -shadow-ladder capacity rungs of the replayed
+// policy), printing per-combination hit ratios and regret; -ctraj FILE runs
 // the Fig. 14 adaptation workload and writes the ASB candidate-size
 // trajectory as CSV (render it with asbviz -in FILE). The standard
 // -cpuprofile, -memprofile and -trace flags profile the whole run.
@@ -55,6 +58,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/obs"
 	"repro/internal/obs/live"
+	"repro/internal/obs/shadow"
 	"repro/internal/obs/tracing"
 	"repro/internal/trace"
 )
@@ -81,6 +85,10 @@ type config struct {
 
 	wbWorkers int
 	wbQueue   int
+
+	shadowPolicies string
+	shadowLadder   string
+	shadowSample   int
 }
 
 func main() {
@@ -104,6 +112,9 @@ func main() {
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "with -trace-out: trace 1 in N buffer requests")
 	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with -shards > 1: background dirty-page writer goroutines")
 	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with -shards > 1: write-back queue capacity in pages")
+	flag.StringVar(&cfg.shadowPolicies, "shadow", "", "with -sets: comma-separated what-if policies shadow-simulated during instrumented replays (e.g. LRU,SLRU 50%,ASB)")
+	flag.StringVar(&cfg.shadowLadder, "shadow-ladder", "0.5,1,2,4", "with -shadow: capacity multipliers the replayed policy is shadow-simulated at")
+	flag.IntVar(&cfg.shadowSample, "shadow-sample", 1, "with -shadow: feed the shadow bank 1 in N request events")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -343,9 +354,10 @@ func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit fun
 	if err := emit(tables); err != nil {
 		return err
 	}
-	if cfg.events != "" || cfg.window > 0 {
+	if cfg.events != "" || cfg.window > 0 || cfg.shadowPolicies != "" {
 		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards,
-			buffer.AsyncConfig{WritebackWorkers: cfg.wbWorkers, WritebackQueue: cfg.wbQueue}, tracer)
+			buffer.AsyncConfig{WritebackWorkers: cfg.wbWorkers, WritebackQueue: cfg.wbQueue}, tracer,
+			splitCSV(cfg.shadowPolicies), parseLadder(cfg.shadowLadder), cfg.shadowSample)
 	}
 	return nil
 }
@@ -363,7 +375,7 @@ func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit fun
 // policy instead of the monolithic one. The replay itself is
 // single-threaded, where the async pool is stat-for-stat identical to
 // the synchronous one, so the tables stay comparable.
-func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int, asyncCfg buffer.AsyncConfig, tracer *tracing.Tracer) error {
+func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int, asyncCfg buffer.AsyncConfig, tracer *tracing.Tracer, shadowPols []string, shadowLadder []float64, shadowSample int) error {
 	var jsonl *obs.JSONLSink
 	if eventsPath != "" {
 		f, err := os.Create(eventsPath)
@@ -395,6 +407,17 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 				if window > 0 {
 					wt = obs.NewWindowTracker(window, 1<<16)
 					sinks = append(sinks, wt)
+				}
+				var bank *shadow.Bank
+				if len(shadowPols) > 0 {
+					specs := shadow.Specs(polName, frames, shadowPols, shadowLadder)
+					bank, err = shadow.NewBank(specs, core.Resolver, window)
+					if err != nil {
+						return fmt.Errorf("instrumented replay %s: %w", label, err)
+					}
+					// The replay is single-threaded and offline, so the bank
+					// hangs directly off the tee — no async ring needed.
+					sinks = append(sinks, obs.NewSamplingSink(bank, shadowSample))
 				}
 				var pool buffer.Pool
 				var sp *buffer.ShardedPool
@@ -428,6 +451,14 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 						return fmt.Errorf("instrumented replay %s: close: %w", label, err)
 					}
 				}
+				if bank != nil {
+					fmt.Printf("%-24s shadow regret %+.4f (real hit ratio %.3f over %d events):\n",
+						label, bank.Regret(), bank.RealHitRatio(), bank.RealRequests())
+					for _, st := range bank.Stats() {
+						fmt.Printf("    %-10s %6d frames  hit ratio %.3f  window %.3f\n",
+							st.Policy, st.Capacity, st.HitRatio, st.WindowHitRatio)
+					}
+				}
 				if wt != nil {
 					fmt.Printf("%-24s windowed hit ratio (n=%d):", label, wt.WindowSize())
 					for _, r := range wt.HitRatios() {
@@ -448,6 +479,18 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 		fmt.Printf("wrote event stream to %s\n", eventsPath)
 	}
 	return nil
+}
+
+// parseLadder parses comma-separated capacity multipliers, ignoring
+// malformed or non-positive entries.
+func parseLadder(s string) []float64 {
+	var out []float64
+	for _, part := range splitCSV(s) {
+		if v, err := strconv.ParseFloat(part, 64); err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func splitCSV(s string) []string {

@@ -4,6 +4,15 @@
 // raw reference string.
 //
 //	tracedump -db 1 -set INT-P
+//
+// With -mrc FILE it additionally replays the trace through offline
+// shadow caches — every -mrc-policies policy at every -mrc-capacities
+// buffer size (default: powers of two up to the trace's distinct page
+// count) — and writes the resulting miss-ratio curves as a
+// results/-style CSV (rows = capacities, columns = policies, values =
+// miss ratios). This is the offline twin of bufserve's live
+// spatialbuf_shadow_* gauges: same simulators, fed from a recorded
+// trace instead of the live event stream.
 package main
 
 import (
@@ -11,9 +20,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/obs/shadow"
 	"repro/internal/page"
 	"repro/internal/trace"
 )
@@ -27,6 +40,9 @@ func main() {
 		queries = flag.Int("queries", 0, "query count (0 = calibrated)")
 		refs    = flag.Bool("refs", false, "dump the raw reference string")
 		out     = flag.String("out", "", "save the trace to a file (gob) for later replay")
+		mrc     = flag.String("mrc", "", "write a miss-ratio-curve CSV (shadow-cache replay) to this file")
+		mrcPols = flag.String("mrc-policies", "LRU,SLRU 50%,ASB", "with -mrc: comma-separated policies to curve")
+		mrcCaps = flag.String("mrc-capacities", "", "with -mrc: comma-separated buffer sizes in frames (empty = powers of two up to the distinct page count)")
 		prof    obs.ProfileFlags
 	)
 	prof.Register(flag.CommandLine)
@@ -37,7 +53,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracedump:", err)
 		os.Exit(1)
 	}
-	err = run(*dbNum, *objects, *seed, *setName, *queries, *refs, *out)
+	err = run(*dbNum, *objects, *seed, *setName, *queries, *refs, *out, *mrc, *mrcPols, *mrcCaps)
 	if serr := stop(); err == nil {
 		err = serr
 	}
@@ -47,7 +63,7 @@ func main() {
 	}
 }
 
-func run(dbNum, objects int, seed int64, setName string, queries int, dumpRefs bool, out string) error {
+func run(dbNum, objects int, seed int64, setName string, queries int, dumpRefs bool, out, mrc, mrcPols, mrcCaps string) error {
 	db, err := experiment.Get(dbNum, experiment.Options{Objects: objects, Seed: seed})
 	if err != nil {
 		return err
@@ -127,10 +143,99 @@ func run(dbNum, objects int, seed int64, setName string, queries int, dumpRefs b
 		}
 		fmt.Printf("trace saved to %s\n", out)
 	}
+	if mrc != "" {
+		if err := writeMRC(tr, db, mrc, mrcPols, mrcCaps, len(touch)); err != nil {
+			return err
+		}
+	}
 	if dumpRefs {
 		for _, r := range tr.Refs {
 			fmt.Printf("%d\t%d\n", r.Query, r.Page)
 		}
 	}
+	return nil
+}
+
+// writeMRC replays the trace through a grid of offline shadow caches —
+// every requested policy at every capacity — and writes the miss-ratio
+// curves as a results/-style CSV: one row per capacity, one column per
+// policy. Page descriptors are read from the store once (PageMetas), so
+// the replay itself is pure in-memory simulation.
+func writeMRC(tr *trace.Trace, db *experiment.Database, path, polList, capList string, distinct int) error {
+	var pols []string
+	for _, p := range strings.Split(polList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pols = append(pols, p)
+		}
+	}
+	if len(pols) == 0 {
+		return fmt.Errorf("-mrc-policies is empty")
+	}
+	var capacities []int
+	if capList == "" {
+		for c := 2; ; c *= 2 {
+			capacities = append(capacities, c)
+			if c >= distinct {
+				break
+			}
+		}
+	} else {
+		for _, f := range strings.Split(capList, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 2 {
+				return fmt.Errorf("bad -mrc-capacities entry %q (want integer ≥ 2)", f)
+			}
+			capacities = append(capacities, v)
+		}
+		sort.Ints(capacities)
+	}
+	if len(capacities) == 0 {
+		return fmt.Errorf("-mrc-capacities is empty")
+	}
+
+	var specs []shadow.Spec
+	for _, p := range pols {
+		for _, c := range capacities {
+			specs = append(specs, shadow.Spec{Policy: p, Capacity: c})
+		}
+	}
+	bank, err := shadow.NewBank(specs, core.Resolver, 0)
+	if err != nil {
+		return err
+	}
+	metas, err := trace.PageMetas(tr, db.Store)
+	if err != nil {
+		return err
+	}
+	for _, ref := range tr.Refs {
+		bank.Request(obs.RequestEvent{Page: ref.Page, QueryID: ref.Query, Meta: metas[ref.Page]})
+	}
+
+	missAt := make(map[shadow.Spec]float64, bank.Len())
+	for _, st := range bank.Stats() {
+		missAt[shadow.Spec{Policy: st.Policy, Capacity: st.Capacity}] = 1 - st.HitRatio
+	}
+	var b strings.Builder
+	b.WriteString("row")
+	for _, p := range pols {
+		b.WriteString("," + p)
+	}
+	b.WriteByte('\n')
+	for _, c := range capacities {
+		fmt.Fprintf(&b, "%d", c)
+		for _, p := range pols {
+			fmt.Fprintf(&b, ",%.4f", missAt[shadow.Spec{Policy: p, Capacity: c}])
+		}
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote miss-ratio curves (%d policies × %d capacities over %d references) to %s\n",
+		len(pols), len(capacities), tr.Len(), path)
 	return nil
 }

@@ -411,8 +411,15 @@ func (m *Manager) serve(id page.ID, ctx AccessContext) (*Frame, error) {
 	// good cached page (or count an eviction) for a request that errored.
 	p, err := m.io.Read(id)
 	if err != nil {
+		// The miss was counted, so its event must still flow — with a
+		// zero Meta, since no page materialized.
+		m.emitMiss(id, ctx, false, page.Meta{})
 		return nil, err
 	}
+	// Emit after the successful read, so the event carries the page's
+	// Meta (shadow caches replay spatial criteria from it), and before
+	// admission, so Request still precedes any Eviction it causes.
+	m.emitMiss(id, ctx, false, p.Meta)
 	return m.admitLocked(p, now, ctx)
 }
 
@@ -428,7 +435,7 @@ func (m *Manager) hitLocked(f *Frame, ctx AccessContext) {
 	now := m.clock
 	m.stats.Requests++
 	m.stats.Hits++
-	m.sink.Request(obs.RequestEvent{Page: f.Meta.ID, QueryID: ctx.QueryID, Hit: true})
+	m.sink.Request(obs.RequestEvent{Page: f.Meta.ID, QueryID: ctx.QueryID, Hit: true, Meta: f.Meta})
 	m.policy.OnHit(f, now, ctx)
 	f.LastUse = now
 }
@@ -436,7 +443,9 @@ func (m *Manager) hitLocked(f *Frame, ctx AccessContext) {
 // missLocked accounts one read request that missed and returns the
 // request's logical time, at which the page should later be admitted.
 // coalesced marks misses that will share another request's physical
-// read instead of performing their own. Must run under the manager's
+// read instead of performing their own. Counting is split from event
+// emission (emitMiss) so the miss paths can attach the read page's Meta
+// to the event once the read resolved. Must run under the manager's
 // serialization.
 func (m *Manager) missLocked(id page.ID, ctx AccessContext, coalesced bool) uint64 {
 	m.clock++
@@ -445,8 +454,15 @@ func (m *Manager) missLocked(id page.ID, ctx AccessContext, coalesced bool) uint
 	if coalesced {
 		m.stats.Coalesced++
 	}
-	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false, Coalesced: coalesced})
 	return m.clock
+}
+
+// emitMiss publishes the Request event of a miss counted by missLocked,
+// exactly once per counted miss. meta is the descriptor of the page the
+// miss resolved to, or the zero Meta when none materialized (failed
+// reads, coalesced waiters). Must run under the manager's serialization.
+func (m *Manager) emitMiss(id page.ID, ctx AccessContext, coalesced bool, meta page.Meta) {
+	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false, Coalesced: coalesced, Meta: meta})
 }
 
 // tickLocked advances the logical clock for a request that was already

@@ -49,11 +49,21 @@ func TestManagerEmitsRequestEvents(t *testing.T) {
 	get(2, 8) // miss
 	get(3, 9) // miss + eviction
 
+	// Every event — hit or miss — carries the page's Meta, so shadow
+	// caches can replay spatial criteria from the stream alone.
+	metaOf := func(id page.ID) page.Meta {
+		t.Helper()
+		p, err := s.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Meta
+	}
 	want := []obs.RequestEvent{
-		{Page: 1, QueryID: 7, Hit: false},
-		{Page: 1, QueryID: 8, Hit: true},
-		{Page: 2, QueryID: 8, Hit: false},
-		{Page: 3, QueryID: 9, Hit: false},
+		{Page: 1, QueryID: 7, Hit: false, Meta: metaOf(1)},
+		{Page: 1, QueryID: 8, Hit: true, Meta: metaOf(1)},
+		{Page: 2, QueryID: 8, Hit: false, Meta: metaOf(2)},
+		{Page: 3, QueryID: 9, Hit: false, Meta: metaOf(3)},
 	}
 	if len(rec.requests) != len(want) {
 		t.Fatalf("recorded %d request events, want %d", len(rec.requests), len(want))

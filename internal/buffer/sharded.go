@@ -195,6 +195,25 @@ func (p *ShardedPool) Writeback() WritebackMetrics {
 	return p.wb.metrics()
 }
 
+// InflightReads returns the number of physical reads currently in
+// progress outside the shard locks — the summed occupancy of the
+// per-shard singleflight tables. Always 0 on synchronous pools, whose
+// reads run under the shard lock. The shards are counted one after
+// another, so under churn the sum is an instantaneous estimate, not an
+// atomic snapshot — the usual multi-counter scrape contract.
+func (p *ShardedPool) InflightReads() int {
+	if !p.async {
+		return 0
+	}
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.flight)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // shardIndex routes a page ID to its shard index. The murmur3 finalizer
 // mixes the (often dense, sequential) page IDs so neighbouring tree
 // nodes spread across shards instead of piling onto one.
@@ -395,9 +414,15 @@ func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, c
 
 		if fl, ok := sh.flight[id]; ok {
 			// Another request is reading this page right now: count a
-			// coalesced miss and wait for its result outside the lock.
+			// coalesced miss and wait for its result outside the lock. The
+			// event is emitted here, under the lock, with a zero Meta — the
+			// waiter never observes the page while holding the lock, and
+			// deferring emission past the unlock would interleave it with
+			// other requests' events (documented accuracy caveat of the
+			// shadow-cache contract).
 			if !counted {
 				m.missLocked(id, ctx, true)
+				m.emitMiss(id, ctx, true, page.Meta{})
 				counted = true
 			}
 			if a != nil {
@@ -439,6 +464,7 @@ func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, c
 			var now uint64
 			if !counted {
 				now = m.missLocked(id, ctx, true)
+				m.emitMiss(id, ctx, true, pg.Meta)
 				counted = true
 			} else {
 				now = m.tickLocked()
@@ -467,8 +493,12 @@ func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, c
 			return res, false, nil
 		}
 
-		// Leader: register the read and perform it outside the lock.
+		// Leader: register the read and perform it outside the lock. The
+		// miss is counted now, but its event is emitted at publish time
+		// (under the re-lock, before admission) so it can carry the Meta of
+		// the page the request actually resolved to.
 		var now uint64
+		emitPending := !counted
 		if !counted {
 			now = m.missLocked(id, ctx, false)
 			counted = true
@@ -504,15 +534,27 @@ func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, c
 		published := rpg
 		var fr *Frame
 		var aerr error
-		if rerr == nil {
+		if rerr != nil {
+			// The counted miss still emits exactly one event; no page
+			// materialized, so its Meta stays zero.
+			if emitPending {
+				m.emitMiss(id, ctx, false, page.Meta{})
+			}
+		} else {
 			if fr = m.frame(id); fr != nil {
 				// A Put raced the page in while we read: its version is
 				// newer — serve it and discard the read.
 				published = fr.Page
+				if emitPending {
+					m.emitMiss(id, ctx, false, fr.Meta)
+				}
 			} else if pg, ok := p.wb.take(id); ok {
 				// Re-admitted dirty (by a Put) and evicted again while we
 				// read: the queued version is newer than our read.
 				published = pg
+				if emitPending {
+					m.emitMiss(id, ctx, false, pg.Meta)
+				}
 				fr, aerr = m.admitLocked(pg, now, ctx)
 				if fr != nil {
 					fr.Dirty = true
@@ -522,6 +564,9 @@ func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, c
 					}
 				}
 			} else {
+				if emitPending {
+					m.emitMiss(id, ctx, false, rpg.Meta)
+				}
 				fr, aerr = m.admitLocked(rpg, now, ctx)
 			}
 		}

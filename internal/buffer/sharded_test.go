@@ -16,15 +16,35 @@ import (
 // testFactory builds a fresh testPolicy per shard.
 func testFactory(int) Policy { return newTestPolicy() }
 
-// randomStats returns a Stats with random counter values.
+// randomStats returns a Stats with a random value in every counter
+// field. Reflection, not a literal: a field added to Stats is exercised
+// here automatically, so the Add/merge property test below cannot
+// silently skip it (as a hand-written literal once did for Coalesced).
 func randomStats(rng *rand.Rand) Stats {
-	return Stats{
-		Requests:   rng.Uint64() >> 40,
-		Hits:       rng.Uint64() >> 40,
-		Misses:     rng.Uint64() >> 40,
-		Evictions:  rng.Uint64() >> 40,
-		Puts:       rng.Uint64() >> 40,
-		WriteBacks: rng.Uint64() >> 40,
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(rng.Uint64() >> 40)
+	}
+	return s
+}
+
+// TestStatsFieldSet pins the exact counter set of Stats. Extending
+// Stats is fine — but this failing reminds you to extend Add, the
+// JSONL/Counters exporters and the merge tests along with it.
+func TestStatsFieldSet(t *testing.T) {
+	want := []string{"Requests", "Hits", "Misses", "Evictions", "Puts", "WriteBacks", "Coalesced"}
+	typ := reflect.TypeOf(Stats{})
+	var got []string
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Errorf("Stats.%s is %s, want uint64 (Add sums every field)", f.Name, f.Type)
+		}
+		got = append(got, f.Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Stats fields = %v, want %v — update Add and the observability exporters", got, want)
 	}
 }
 
@@ -45,13 +65,12 @@ func TestStatsAddProperty(t *testing.T) {
 			merged.Add(p)
 		}
 		var want Stats
+		wv := reflect.ValueOf(&want).Elem()
 		for _, p := range parts {
-			want.Requests += p.Requests
-			want.Hits += p.Hits
-			want.Misses += p.Misses
-			want.Evictions += p.Evictions
-			want.Puts += p.Puts
-			want.WriteBacks += p.WriteBacks
+			pv := reflect.ValueOf(p)
+			for i := 0; i < wv.NumField(); i++ {
+				wv.Field(i).SetUint(wv.Field(i).Uint() + pv.Field(i).Uint())
+			}
 		}
 		if merged != want {
 			t.Fatalf("Add mismatch: got %+v, want %+v", merged, want)

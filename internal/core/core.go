@@ -74,6 +74,17 @@ func FactoryByName(name string) (Factory, error) {
 	return Factory{}, fmt.Errorf("core: unknown policy %q", name)
 }
 
+// Resolver maps a standard policy name to its PolicyFactory — the
+// name-to-constructor hook consumers that must stay decoupled from this
+// registry (obs/shadow's Bank) accept as a function value.
+func Resolver(name string) (PolicyFactory, error) {
+	f, err := FactoryByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.New, nil
+}
+
 // fracOf returns round(frac·n), at least 1.
 func fracOf(n int, frac float64) int {
 	v := int(frac*float64(n) + 0.5)

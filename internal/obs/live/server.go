@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/shadow"
 )
 
 // critScale converts the float64 spatial criterion into the fixed-point
@@ -55,6 +56,7 @@ func (g Gauge) key() string {
 //	/vars          expvar-style JSON snapshot (same numbers as /metrics)
 //	/healthz       liveness probe
 //	/events/ctraj  server-sent events: live ASB candidate-size trajectory
+//	/events/shadow server-sent events: shadow-cache what-if snapshots
 //	/              minimal self-contained HTML dashboard
 //
 // Attach Sink() to a manager (or tee it with capture sinks); the sink is
@@ -66,9 +68,10 @@ type Service struct {
 	Criterion *obs.Histogram
 	Traj      *Broadcaster
 
-	mu     sync.Mutex
-	gauges []Gauge
-	named  map[string]bool
+	mu         sync.Mutex
+	gauges     []Gauge
+	named      map[string]bool
+	shadowBank *shadow.Bank
 }
 
 // NewService returns a Service with fresh aggregators.
@@ -258,6 +261,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/vars", s.handleVars)
 	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/events/ctraj", s.handleCTraj)
+	mux.HandleFunc("/events/shadow", s.handleShadow)
 	mux.HandleFunc("/", s.handleDashboard)
 	return mux
 }
@@ -485,7 +489,7 @@ code { background: #f0f0f0; padding: 0 .3em; }
 </head>
 <body>
 <h1>spatial-buffer live metrics</h1>
-<p>Endpoints: <code>/metrics</code> (Prometheus), <code>/vars</code> (JSON), <code>/healthz</code>, <code>/events/ctraj</code> (SSE).</p>
+<p>Endpoints: <code>/metrics</code> (Prometheus), <code>/vars</code> (JSON), <code>/healthz</code>, <code>/events/ctraj</code> (SSE), <code>/events/shadow</code> (SSE).</p>
 <h2>Counters</h2>
 <table id="counters"></table>
 <h2>Request latency</h2>
@@ -493,6 +497,9 @@ code { background: #f0f0f0; padding: 0 .3em; }
 <h2>ASB candidate-size trajectory (live)</h2>
 <svg id="ctraj" width="640" height="160" viewBox="0 0 640 160" preserveAspectRatio="none"></svg>
 <p id="ctrajinfo">waiting for adaptation events…</p>
+<h2>Shadow caches (what-if policies &amp; miss-ratio curve)</h2>
+<table id="shadows"><tr><td>waiting for shadow samples…</td></tr></table>
+<p id="shadowinfo"></p>
 <script>
 const fmt = (v) => typeof v === "number" && !Number.isInteger(v) ? v.toPrecision(5) : v;
 function renderTable(el, obj) {
@@ -527,6 +534,29 @@ es.onmessage = (m) => {
     '<path d="' + path + '" fill="none" stroke="#06c" stroke-width="1.5"/>';
   document.getElementById("ctrajinfo").textContent =
     "c = " + s.new + " after " + s.ref + " requests (" + pts.length + " samples shown, max " + max + ")";
+};
+
+const shadowEs = new EventSource("/events/shadow");
+shadowEs.onerror = () => {
+  // 404 (shadow profiling disabled) or server restart: stop retrying
+  // only when the panel never received data.
+  if (!document.getElementById("shadowinfo").textContent) {
+    document.getElementById("shadows").innerHTML =
+      "<tr><td>shadow profiling disabled</td></tr>";
+    shadowEs.close();
+  }
+};
+shadowEs.onmessage = (m) => {
+  const s = JSON.parse(m.data);
+  const rows = s.shadows.map(c =>
+    "<tr><td>" + c.policy + "</td><td>" + c.capacity + "</td><td>" +
+    c.hit_ratio.toPrecision(4) + "</td><td>" + c.window_hit_ratio.toPrecision(4) +
+    "</td><td>" + c.hits + "</td><td>" + c.misses + "</td></tr>").join("");
+  document.getElementById("shadows").innerHTML =
+    "<tr><th>policy</th><th>frames</th><th>hit ratio</th><th>window</th><th>hits</th><th>misses</th></tr>" + rows;
+  document.getElementById("shadowinfo").textContent =
+    "regret " + s.regret.toPrecision(4) + " (real hit ratio " +
+    s.real_hit_ratio.toPrecision(4) + " over " + s.real_requests + " observed requests)";
 };
 </script>
 </body>

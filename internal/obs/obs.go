@@ -41,6 +41,17 @@ type RequestEvent struct {
 	// served from the background write-back queue. Always false for hits
 	// and on synchronous pools.
 	Coalesced bool
+	// Meta is the requested page's descriptor — the spatial criteria a
+	// downstream consumer (the shadow-cache simulators of obs/shadow)
+	// needs to replay spatial replacement decisions without touching page
+	// data. Hits carry the resident frame's Meta; misses carry the Meta
+	// of the page that was read, so the event is emitted after the
+	// physical read succeeds. Zero (Meta.ID == 0) on failed reads and on
+	// coalesced waiters of an async pool, which never observe the page
+	// under their shard lock; consumers must treat a zero Meta as
+	// "criteria unknown". JSONL serialization ignores Meta, so event
+	// files are unaffected.
+	Meta page.Meta
 }
 
 // Eviction reasons. Constants rather than free-form strings so sinks can

@@ -119,6 +119,25 @@ func ReplayOn(tr *Trace, p buffer.Pool) (buffer.Stats, error) {
 	return p.Stats(), nil
 }
 
+// PageMetas reads each distinct page of the trace from the store exactly
+// once and returns its descriptor — the metadata an offline shadow-cache
+// replay (tracedump's miss-ratio-curve mode) needs to score spatial
+// criteria without re-reading pages per reference.
+func PageMetas(tr *Trace, store storage.Store) (map[page.ID]page.Meta, error) {
+	metas := make(map[page.ID]page.Meta)
+	for _, ref := range tr.Refs {
+		if _, ok := metas[ref.Page]; ok {
+			continue
+		}
+		p, err := store.Read(ref.Page)
+		if err != nil {
+			return nil, fmt.Errorf("trace: meta of page %d: %w", ref.Page, err)
+		}
+		metas[ref.Page] = p.Meta
+	}
+	return metas, nil
+}
+
 // RunLive executes the query set against the tree reading through the
 // given buffer pool — the non-trace path, used to validate replay
 // equivalence and by the example programs.
