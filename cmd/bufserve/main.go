@@ -126,7 +126,7 @@ func main() {
 	flag.IntVar(&cfg.objects, "objects", 0, "objects in the database (0 = default scale)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "generation seed")
 	flag.StringVar(&cfg.set, "set", "U-P", "query set to replay (e.g. U-P, INT-W-33)")
-	flag.StringVar(&cfg.policy, "policy", "ASB", "replacement policy")
+	flag.StringVar(&cfg.policy, "policy", "ASB", "replacement policy: a registry name (LRU, ASB, ...) or a parameterized spec like LRU-K:4, SLRU:EA:0.25, SPATIAL:EM, ASB:A:0.3, PIN:2")
 	flag.Float64Var(&cfg.frac, "frac", experiment.LargestFrac, "buffer size as a fraction of the database")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "concurrent replay goroutines")
 	flag.IntVar(&cfg.shards, "shards", runtime.GOMAXPROCS(0), "buffer pool shards (1 = single mutex-protected pool)")
@@ -140,7 +140,7 @@ func main() {
 	flag.IntVar(&cfg.traceBuf, "trace-buf", 256, "completed traces retained per shard ring")
 	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with shards > 1: background dirty-page writer goroutines")
 	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with shards > 1: write-back queue capacity in pages")
-	flag.StringVar(&cfg.shadowPolicies, "shadow", "LRU,SLRU 50%,ASB", "comma-separated what-if policies simulated by shadow caches at the real capacity (empty disables shadow profiling)")
+	flag.StringVar(&cfg.shadowPolicies, "shadow", "LRU,SLRU 50%,ASB", "comma-separated what-if policies (names or parameterized specs like LRU-K:4) simulated by shadow caches at the real capacity (empty disables shadow profiling)")
 	flag.StringVar(&cfg.shadowLadder, "shadow-ladder", "0.5,1,2,4", "capacity multipliers the real policy is shadow-simulated at (the online miss-ratio curve)")
 	flag.IntVar(&cfg.shadowSample, "shadow-sample", 1, "feed the shadow bank 1 in N request events")
 	flag.Parse()

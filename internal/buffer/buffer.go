@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core/intrusive"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
 	"repro/internal/page"
@@ -37,6 +38,13 @@ type AccessContext struct {
 
 // Frame is one buffer slot: a cached page, its descriptor, and the
 // bookkeeping the manager and policy need.
+//
+// Beyond the manager-owned fields, a frame embeds the intrusive words the
+// replacement policies link it with: list hooks, a heap slot, a scratch
+// tag, a cached criterion and a recency stamp. Exactly one policy owns a
+// frame per residence (OnAdmit to OnEvict), so the words are shared
+// across policies without conflict; the arena scrubs them on every
+// recycle. See DESIGN.md, "Frame lifecycle and memory layout".
 type Frame struct {
 	Meta page.Meta
 	Page *page.Page
@@ -52,14 +60,48 @@ type Frame struct {
 
 	pins int
 
-	// aux is policy-private per-frame state (list elements, heap indices,
-	// residence flags). Only the owning policy touches it.
+	// arena is 1+slot index in the owning Arena, 0 for frames constructed
+	// outside an arena.
+	arena int32
+
+	// Links are the intrusive list hooks of the owning policy's recency /
+	// FIFO / ring order (LRU, FIFO, LRU-T/P, LRU-K residency, SLRU, ASB,
+	// CLOCK).
+	Links intrusive.Hooks[*Frame]
+
+	// Slot is the frame's position in the owning policy's min-heap
+	// (Spatial), maintained by the heap's move callback; -1 when absent.
+	Slot int32
+
+	// Tag is small per-policy scratch: the ASB region (main/overflow), the
+	// CLOCK reference bit, a PriorityLRU class, or an LRU-K history-record
+	// index.
+	Tag uint32
+
+	// Crit caches the owning policy's spatial criterion value for the
+	// page, so victim scans and ASB adaptation votes never recompute MBR
+	// geometry.
+	Crit float64
+
+	// Stamp is a policy-owned recency shadow of LastUse (Spatial updates
+	// it in OnHit, before the manager bumps LastUse).
+	Stamp uint64
+
+	// aux is policy-private per-frame state for policies outside this
+	// package that need more than the embedded words. The standard
+	// policies no longer use it; it remains for extension policies (and
+	// the list-backed reference implementations the equivalence tests
+	// keep).
 	aux any
 }
 
 // Pinned reports whether the frame is currently pinned and therefore not
 // evictable.
 func (f *Frame) Pinned() bool { return f.pins > 0 }
+
+// ArenaIndex returns the frame's slot in its manager's arena, or -1 for
+// frames constructed outside an arena (hand-made test frames).
+func (f *Frame) ArenaIndex() int32 { return f.arena - 1 }
 
 // Aux returns the policy-private state attached to the frame.
 func (f *Frame) Aux() any { return f.aux }
@@ -161,6 +203,7 @@ type Manager struct {
 	io storage.Store
 
 	frames map[page.ID]*Frame
+	arena  *Arena
 	clock  uint64
 	stats  Stats
 
@@ -208,6 +251,7 @@ func NewManager(store storage.Store, policy Policy, capacity int) (*Manager, err
 		capacity: capacity,
 		io:       store,
 		frames:   make(map[page.ID]*Frame, capacity),
+		arena:    NewArena(capacity),
 		sink:     obs.NopSink{},
 	}, nil
 }
@@ -482,10 +526,24 @@ func (m *Manager) admitLocked(p *page.Page, now uint64, ctx AccessContext) (*Fra
 			return nil, err
 		}
 	}
-	f := &Frame{Meta: p.Meta, Page: p, LastUse: now}
+	f := m.allocFrame()
+	f.Meta = p.Meta
+	f.Page = p
+	f.LastUse = now
 	m.frames[p.ID] = f
 	m.policy.OnAdmit(f, now, ctx)
 	return f, nil
+}
+
+// allocFrame takes a scrubbed frame from the arena. The capacity check in
+// the admit paths guarantees a free frame (residents ≤ capacity = arena
+// size); the heap fallback only exists so an invariant bug degrades to an
+// allocation instead of a crash.
+func (m *Manager) allocFrame() *Frame {
+	if f := m.arena.Alloc(); f != nil {
+		return f
+	}
+	return &Frame{}
 }
 
 // writebackEnqueuer is the hook a background write-back queue installs
@@ -533,6 +591,10 @@ func (m *Manager) evictOne(ctx AccessContext) error {
 	delete(m.frames, v.Meta.ID)
 	m.stats.Evictions++
 	m.policy.OnEvict(v)
+	// The policy has unlinked the frame and nothing above holds a *Frame
+	// (callers only ever see *page.Page), so the slot recycles to the
+	// free-list for the admission that triggered this eviction.
+	m.arena.Free(v)
 	return nil
 }
 
@@ -572,8 +634,11 @@ func (m *Manager) Clear() error {
 	if err := m.Flush(); err != nil {
 		return err
 	}
-	m.frames = make(map[page.ID]*Frame, m.capacity)
+	clear(m.frames)
+	// Reset the policy while the frame links are still intact (its Clear
+	// walks them), then scrub and refill the arena.
 	m.policy.Reset()
+	m.arena.Reset()
 	m.clock = 0
 	m.stats = Stats{}
 	return nil
@@ -662,7 +727,11 @@ func (m *Manager) put(p *page.Page, ctx AccessContext) error {
 			return err
 		}
 	}
-	f := &Frame{Meta: p.Meta, Page: p, LastUse: now, Dirty: true}
+	f := m.allocFrame()
+	f.Meta = p.Meta
+	f.Page = p
+	f.LastUse = now
+	f.Dirty = true
 	m.frames[p.ID] = f
 	m.policy.OnAdmit(f, now, ctx)
 	return nil

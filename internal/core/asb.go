@@ -1,11 +1,11 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/buffer"
+	"repro/internal/core/intrusive"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
 	"repro/internal/page"
@@ -43,6 +43,12 @@ func DefaultASBOptions() ASBOptions {
 	}
 }
 
+// Frame.Tag values marking which ASB region a frame lives in.
+const (
+	asbMain uint32 = iota
+	asbOver
+)
+
 // ASB is the adaptable spatial buffer (paper §4.2), the self-tuning
 // combination of LRU and a spatial page-replacement strategy:
 //
@@ -63,6 +69,11 @@ func DefaultASBOptions() ASBOptions {
 // Both parts together never exceed the buffer capacity, so — unlike
 // LRU-K — ASB needs no state for pages that have left the buffer.
 //
+// Both regions are intrusive lists over the frames' embedded link words;
+// a frame's region lives in Frame.Tag and its criterion is cached in
+// Frame.Crit at admission, so candidate scans and the §4.2 adaptation
+// votes never recompute MBR geometry and never allocate.
+//
 // ASB emits observability events when a sink is attached (via
 // buffer.Manager.SetSink or directly through SetSink): an
 // OverflowPromotion per overflow hit carrying the §4.2 signal, an Adapt
@@ -81,10 +92,10 @@ type ASB struct {
 
 	cand int // current candidate-set size, in [1, mainCap]
 
-	// main holds *buffer.Frame, front = most recently used.
-	main *list.List
-	// over holds *buffer.Frame, front = oldest (next FIFO victim).
-	over *list.List
+	// main is the SLRU part, front = most recently used.
+	main intrusive.List[*buffer.Frame]
+	// over is the overflow FIFO, front = oldest (next FIFO victim).
+	over intrusive.List[*buffer.Frame]
 
 	// lastRank is the LRU rank of the frame most recently returned by
 	// Victim, consumed by the Eviction event in OnEvict; -1 when unknown.
@@ -97,13 +108,6 @@ type ASB struct {
 	// SyncManager lock that serializes the policy callbacks.
 	gCand atomic.Int64
 	gOver atomic.Int64
-}
-
-// asbAux is the per-frame state of an ASB policy.
-type asbAux struct {
-	elem   *list.Element
-	crit   float64
-	inOver bool
 }
 
 // NewASB returns an adaptable spatial buffer for a buffer of the given
@@ -138,8 +142,8 @@ func NewASB(capacity int, opts ASBOptions) *ASB {
 		initCand: clamp(int(opts.InitialCandFrac*float64(mainCap)+0.5), 1, mainCap),
 		step:     clamp(int(opts.StepFrac*float64(mainCap)+0.5), 1, mainCap),
 		freeze:   opts.FreezeCand,
-		main:     list.New(),
-		over:     list.New(),
+		main:     intrusive.NewList(frameHooks),
+		over:     intrusive.NewList(frameHooks),
 		lastRank: -1,
 	}
 	a.cand = a.initCand
@@ -198,9 +202,9 @@ func (p *ASB) Adaptations() uint64 { return p.adaptations }
 // MRU position; if the main part exceeds its share, its SLRU victim is
 // demoted into the overflow buffer.
 func (p *ASB) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := &asbAux{crit: p.crit.Value(f.Meta)}
-	f.SetAux(aux)
-	aux.elem = p.main.PushFront(f)
+	f.Crit = p.crit.Value(f.Meta)
+	f.Tag = asbMain
+	p.main.PushFront(f)
 	p.rebalance()
 	p.publishGauges()
 }
@@ -209,15 +213,14 @@ func (p *ASB) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 // recency. A hit in the overflow buffer adapts the candidate-set size
 // (§4.2, cases 1–3) and promotes the page back into the main part.
 func (p *ASB) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*asbAux)
-	if !aux.inOver {
-		p.main.MoveToFront(aux.elem)
+	if f.Tag != asbOver {
+		p.main.MoveToFront(f)
 		return
 	}
-	p.adapt(f, aux)
-	p.over.Remove(aux.elem)
-	aux.inOver = false
-	aux.elem = p.main.PushFront(f)
+	p.adapt(f)
+	p.over.Remove(f)
+	f.Tag = asbMain
+	p.main.PushFront(f)
 	p.rebalance()
 	p.publishGauges()
 }
@@ -228,7 +231,7 @@ func (p *ASB) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
 // demotion. The raw signal is emitted as an OverflowPromotion event and
 // the resulting size as an Adapt event; with FreezeCand the signal is
 // emitted but not acted on.
-func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
+func (p *ASB) adapt(f *buffer.Frame) {
 	act := p.TraceSlot().Active()
 	var span int32
 	if act != nil {
@@ -245,12 +248,11 @@ func (p *ASB) adapt(f *buffer.Frame, aux *asbAux) {
 			act.End(span)
 		}
 	}()
-	for e := p.over.Front(); e != nil; e = e.Next() {
-		q := e.Value.(*buffer.Frame)
+	for q := p.over.Front(); q != nil; q = p.over.Next(q) {
 		if q == f {
 			continue
 		}
-		if q.Aux().(*asbAux).crit > aux.crit {
+		if q.Crit > f.Crit {
 			betterSpatial++
 		}
 		if q.LastUse > f.LastUse {
@@ -305,10 +307,9 @@ func (p *ASB) rebalance() {
 		if v == nil {
 			return // everything pinned; tolerate a temporarily oversized main part
 		}
-		aux := v.Aux().(*asbAux)
-		p.main.Remove(aux.elem)
-		aux.inOver = true
-		aux.elem = p.over.PushBack(v)
+		p.main.Remove(v)
+		v.Tag = asbOver
+		p.over.PushBack(v)
 	}
 }
 
@@ -324,11 +325,10 @@ func (p *ASB) mainVictim() (*buffer.Frame, int, float64) {
 	var bestCrit, worstCrit float64
 	bestRank := -1
 	seen := 0
-	for e := p.main.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*buffer.Frame)
+	for f := p.main.Back(); f != nil; f = p.main.Prev(f) {
 		seen++
 		if !f.Pinned() {
-			c := f.Aux().(*asbAux).crit
+			c := f.Crit
 			if best == nil || c < bestCrit {
 				best, bestCrit, bestRank = f, c, seen-1
 			}
@@ -358,8 +358,8 @@ func (p *ASB) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	reason := obs.ReasonASBOverflow
 	var worst float64
 	rank := 0
-	for e := p.over.Front(); e != nil; e = e.Next() {
-		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+	for f := p.over.Front(); f != nil; f = p.over.Next(f) {
+		if !f.Pinned() {
 			v = f
 			break
 		}
@@ -376,9 +376,11 @@ func (p *ASB) Victim(ctx buffer.AccessContext) *buffer.Frame {
 		sp.CritKind = p.crit.String()
 		sp.Rank = int32(rank)
 		sp.CritLose = worst
+		sp.Slot = -1
 		if v != nil {
 			sp.Page = v.Meta.ID
-			sp.CritWin = v.Aux().(*asbAux).crit
+			sp.CritWin = v.Crit
+			sp.Slot = v.ArenaIndex()
 		} else {
 			sp.Err = true // every frame pinned
 		}
@@ -389,30 +391,28 @@ func (p *ASB) Victim(ctx buffer.AccessContext) *buffer.Frame {
 
 // OnEvict implements buffer.Policy.
 func (p *ASB) OnEvict(f *buffer.Frame) {
-	aux := f.Aux().(*asbAux)
 	reason := obs.ReasonASBMain
-	if aux.inOver {
-		p.over.Remove(aux.elem)
+	if f.Tag == asbOver {
+		p.over.Remove(f)
 		reason = obs.ReasonASBOverflow
 	} else {
-		p.main.Remove(aux.elem)
+		p.main.Remove(f)
 	}
 	p.Sink().Eviction(obs.EvictionEvent{
 		Page:      f.Meta.ID,
 		Reason:    reason,
-		Criterion: aux.crit,
+		Criterion: f.Crit,
 		LRURank:   p.lastRank,
 	})
 	p.lastRank = -1
-	f.SetAux(nil)
 	p.publishGauges()
 }
 
 // Reset implements buffer.Policy: both parts are cleared and the
 // candidate-set size returns to its initial value.
 func (p *ASB) Reset() {
-	p.main.Init()
-	p.over.Init()
+	p.main.Clear()
+	p.over.Clear()
 	p.cand = p.initCand
 	p.adaptations = 0
 	p.lastRank = -1
@@ -425,15 +425,14 @@ func (p *ASB) Reset() {
 // adaptation signal is defined for re-*references*, and an update is not
 // evidence about which read strategy judged the page correctly.
 func (p *ASB) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*asbAux)
-	aux.crit = p.crit.Value(f.Meta)
-	if !aux.inOver {
-		p.main.MoveToFront(aux.elem)
+	f.Crit = p.crit.Value(f.Meta)
+	if f.Tag != asbOver {
+		p.main.MoveToFront(f)
 		return
 	}
-	p.over.Remove(aux.elem)
-	aux.inOver = false
-	aux.elem = p.main.PushFront(f)
+	p.over.Remove(f)
+	f.Tag = asbMain
+	p.main.PushFront(f)
 	p.rebalance()
 	p.publishGauges()
 }

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"container/ring"
-
 	"repro/internal/buffer"
+	"repro/internal/core/intrusive"
 )
 
 // Clock is the classic second-chance (CLOCK) approximation of LRU: frames
@@ -11,42 +10,51 @@ import (
 // bits, and evicts the first frame whose bit is already clear. It is the
 // policy most disk-based DBMS actually ship and serves as an additional
 // baseline beyond the paper's set.
+//
+// The ring is the intrusive list closed logically: the hand is a frame
+// pointer and advancing past the list tail wraps to its head. The
+// reference bit lives in Frame.Tag, so admission, hits and sweeps
+// allocate nothing.
 type Clock struct {
-	hand *ring.Ring // current clock hand; nil when empty
-	size int
-}
-
-// clockAux is the per-frame state of a Clock policy.
-type clockAux struct {
-	node *ring.Ring
-	ref  bool
+	// ring holds the frames in hand order; traversal wraps front↔back.
+	ring intrusive.List[*buffer.Frame]
+	// hand is the current clock hand; nil when the ring is empty.
+	hand *buffer.Frame
 }
 
 // NewClock returns a CLOCK policy.
-func NewClock() *Clock { return &Clock{} }
+func NewClock() *Clock { return &Clock{ring: intrusive.NewList(frameHooks)} }
 
 // Name implements buffer.Policy.
 func (p *Clock) Name() string { return "CLOCK" }
+
+// next advances one position around the ring, wrapping at the end.
+func (p *Clock) next(f *buffer.Frame) *buffer.Frame {
+	if n := p.ring.Next(f); n != nil {
+		return n
+	}
+	return p.ring.Front()
+}
 
 // OnAdmit implements buffer.Policy: the frame is inserted behind the hand
 // with its reference bit CLEAR — the bit is earned by a re-reference, so
 // one-shot pages are evicted on the first sweep (the second-chance
 // variant that approximates LRU most closely).
 func (p *Clock) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	n := ring.New(1)
-	n.Value = f
-	f.SetAux(&clockAux{node: n, ref: false})
+	f.Tag = 0
 	if p.hand == nil {
-		p.hand = n
-	} else {
-		p.hand.Prev().Link(n)
+		p.ring.PushBack(f)
+		p.hand = f
+		return
 	}
-	p.size++
+	// InsertBefore the hand = behind it in sweep order (the hand reaches
+	// the newcomer last).
+	p.ring.InsertBefore(f, p.hand)
 }
 
 // OnHit implements buffer.Policy: set the reference bit.
 func (p *Clock) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	f.Aux().(*clockAux).ref = true
+	f.Tag = 1
 }
 
 // Victim implements buffer.Policy: sweep, clearing reference bits, until
@@ -57,39 +65,33 @@ func (p *Clock) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	}
 	// Two full sweeps suffice: the first clears bits, the second must
 	// find a victim unless everything is pinned.
-	for i := 0; i < 2*p.size; i++ {
-		f := p.hand.Value.(*buffer.Frame)
-		aux := f.Aux().(*clockAux)
-		if !f.Pinned() && !aux.ref {
-			return f
-		}
+	for i := 0; i < 2*p.ring.Len(); i++ {
+		f := p.hand
 		if !f.Pinned() {
-			aux.ref = false
+			if f.Tag == 0 {
+				return f
+			}
+			f.Tag = 0
 		}
-		p.hand = p.hand.Next()
+		p.hand = p.next(f)
 	}
 	return nil
 }
 
 // OnEvict implements buffer.Policy.
 func (p *Clock) OnEvict(f *buffer.Frame) {
-	aux := f.Aux().(*clockAux)
-	if p.size == 1 {
+	if p.ring.Len() == 1 {
 		p.hand = nil
-	} else {
-		if p.hand == aux.node {
-			p.hand = p.hand.Next()
-		}
-		aux.node.Prev().Unlink(1)
+	} else if p.hand == f {
+		p.hand = p.next(f)
 	}
-	p.size--
-	f.SetAux(nil)
+	p.ring.Remove(f)
 }
 
 // Reset implements buffer.Policy.
 func (p *Clock) Reset() {
+	p.ring.Clear()
 	p.hand = nil
-	p.size = 0
 }
 
 // PinLevels is the buffer of Leutenegger & Lopez (ICDE 1998), which the
@@ -131,8 +133,7 @@ func (p *PinLevels) pinnedLevel(f *buffer.Frame) bool {
 // stay functional).
 func (p *PinLevels) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	var fallback *buffer.Frame
-	for e := p.lru.order.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*buffer.Frame)
+	for f := p.lru.order.Back(); f != nil; f = p.lru.order.Prev(f) {
 		if f.Pinned() {
 			continue
 		}

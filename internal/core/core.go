@@ -19,6 +19,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/page"
@@ -64,14 +66,31 @@ func StandardFactories() []Factory {
 	}
 }
 
-// FactoryByName returns the standard factory with the given name.
-func FactoryByName(name string) (Factory, error) {
+// factoryIndex is the memoized name → Factory map behind FactoryByName:
+// the standard registry plus extra baselines (FIFO) that are resolvable
+// by name without appearing in the paper's figure set. Factories are
+// stateless constructors, so one shared map serves every caller.
+var factoryIndex = sync.OnceValue(func() map[string]Factory {
+	idx := make(map[string]Factory)
 	for _, f := range StandardFactories() {
-		if f.Name == name {
-			return f, nil
-		}
+		idx[f.Name] = f
 	}
-	return Factory{}, fmt.Errorf("core: unknown policy %q", name)
+	idx["FIFO"] = Factory{Name: "FIFO", New: func(int) buffer.Policy { return NewFIFO() }}
+	return idx
+})
+
+// FactoryByName returns the factory with the given name. Beyond the
+// fixed registry names it accepts parameterized specs of the form
+// NAME:PARAM[:PARAM...] — see ParseSpec for the grammar.
+func FactoryByName(name string) (Factory, error) {
+	if f, ok := factoryIndex()[name]; ok {
+		return f, nil
+	}
+	if strings.ContainsRune(name, ':') {
+		return ParseSpec(name)
+	}
+	return Factory{}, fmt.Errorf("core: unknown policy %q (standard names, FIFO, or a spec like %q, %q, %q)",
+		name, "LRU-K:4", "SLRU:EA:0.25", "ASB:A:0.2")
 }
 
 // Resolver maps a standard policy name to its PolicyFactory — the

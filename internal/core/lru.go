@@ -1,19 +1,26 @@
 package core
 
 import (
-	"container/list"
-
 	"repro/internal/buffer"
+	"repro/internal/core/intrusive"
 	"repro/internal/obs"
 )
 
+// frameHooks resolves the intrusive link words embedded in a frame — the
+// accessor every policy list in this package shares. A frame is on at
+// most one policy list at a time (one policy owns it per residence), so
+// one set of hooks suffices for all of them.
+func frameHooks(f *buffer.Frame) *intrusive.Hooks[*buffer.Frame] { return &f.Links }
+
 // LRU is the least-recently-used baseline policy: the victim is the
-// unpinned page that has not been accessed for the longest time.
+// unpinned page that has not been accessed for the longest time. Frames
+// are threaded onto an intrusive recency list through their embedded link
+// words, so admission, hits and eviction allocate nothing.
 type LRU struct {
 	obs.Target
 
-	// order holds *buffer.Frame values, front = most recently used.
-	order *list.List
+	// order is the recency list, front = most recently used.
+	order intrusive.List[*buffer.Frame]
 	// lastRank is the LRU rank of the frame most recently returned by
 	// Victim (> 0 only when pinned frames were skipped).
 	lastRank int
@@ -21,7 +28,7 @@ type LRU struct {
 
 // NewLRU returns an LRU policy.
 func NewLRU() *LRU {
-	return &LRU{order: list.New(), lastRank: -1}
+	return &LRU{order: intrusive.NewList(frameHooks), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -29,19 +36,19 @@ func (p *LRU) Name() string { return "LRU" }
 
 // OnAdmit implements buffer.Policy.
 func (p *LRU) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	f.SetAux(p.order.PushFront(f))
+	p.order.PushFront(f)
 }
 
 // OnHit implements buffer.Policy.
 func (p *LRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	p.order.MoveToFront(f.Aux().(*list.Element))
+	p.order.MoveToFront(f)
 }
 
 // Victim implements buffer.Policy: the least recently used unpinned frame.
 func (p *LRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	rank := 0
-	for e := p.order.Back(); e != nil; e = e.Prev() {
-		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+	for f := p.order.Back(); f != nil; f = p.order.Prev(f) {
+		if !f.Pinned() {
 			p.lastRank = rank
 			return f
 		}
@@ -52,19 +59,18 @@ func (p *LRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 
 // OnEvict implements buffer.Policy.
 func (p *LRU) OnEvict(f *buffer.Frame) {
-	p.order.Remove(f.Aux().(*list.Element))
+	p.order.Remove(f)
 	p.Sink().Eviction(obs.EvictionEvent{
 		Page:    f.Meta.ID,
 		Reason:  obs.ReasonLRU,
 		LRURank: p.lastRank,
 	})
 	p.lastRank = -1
-	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
 func (p *LRU) Reset() {
-	p.order.Init()
+	p.order.Clear()
 	p.lastRank = -1
 }
 
@@ -74,8 +80,8 @@ func (p *LRU) Reset() {
 type FIFO struct {
 	obs.Target
 
-	// order holds *buffer.Frame values, front = oldest admission.
-	order *list.List
+	// order is the admission queue, front = oldest admission.
+	order intrusive.List[*buffer.Frame]
 	// lastRank is the admission-order rank of the frame most recently
 	// returned by Victim (0 = oldest admission).
 	lastRank int
@@ -83,7 +89,7 @@ type FIFO struct {
 
 // NewFIFO returns a FIFO policy.
 func NewFIFO() *FIFO {
-	return &FIFO{order: list.New(), lastRank: -1}
+	return &FIFO{order: intrusive.NewList(frameHooks), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -91,7 +97,7 @@ func (p *FIFO) Name() string { return "FIFO" }
 
 // OnAdmit implements buffer.Policy.
 func (p *FIFO) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	f.SetAux(p.order.PushBack(f))
+	p.order.PushBack(f)
 }
 
 // OnHit implements buffer.Policy: hits do not reorder a FIFO.
@@ -100,8 +106,8 @@ func (p *FIFO) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {}
 // Victim implements buffer.Policy: the oldest unpinned admission.
 func (p *FIFO) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	rank := 0
-	for e := p.order.Front(); e != nil; e = e.Next() {
-		if f := e.Value.(*buffer.Frame); !f.Pinned() {
+	for f := p.order.Front(); f != nil; f = p.order.Next(f) {
+		if !f.Pinned() {
 			p.lastRank = rank
 			return f
 		}
@@ -112,18 +118,17 @@ func (p *FIFO) Victim(ctx buffer.AccessContext) *buffer.Frame {
 
 // OnEvict implements buffer.Policy.
 func (p *FIFO) OnEvict(f *buffer.Frame) {
-	p.order.Remove(f.Aux().(*list.Element))
+	p.order.Remove(f)
 	p.Sink().Eviction(obs.EvictionEvent{
 		Page:    f.Meta.ID,
 		Reason:  obs.ReasonFIFO,
 		LRURank: p.lastRank,
 	})
 	p.lastRank = -1
-	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
 func (p *FIFO) Reset() {
-	p.order.Init()
+	p.order.Clear()
 	p.lastRank = -1
 }

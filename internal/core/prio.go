@@ -1,10 +1,10 @@
 package core
 
 import (
-	"container/list"
 	"sort"
 
 	"repro/internal/buffer"
+	"repro/internal/core/intrusive"
 	"repro/internal/obs"
 	"repro/internal/page"
 )
@@ -40,22 +40,27 @@ func LevelPriority(m page.Meta) int {
 // PriorityLRU keeps one LRU chain per priority class and always evicts
 // from the lowest-priority non-empty class. With TypePriority it is the
 // paper's LRU-T, with LevelPriority its LRU-P.
+//
+// Each class chain is an intrusive list; a frame's class is stashed in
+// Frame.Tag so eviction finds its chain without recomputing the priority.
+// The set of class IDs is maintained sorted as classes appear (a handful
+// of cold-path insertions for any real priority function), so victim
+// selection iterates ascending without sorting — the per-call
+// allocate-and-sort of the naive implementation is gone from the
+// steady-state path.
 type PriorityLRU struct {
 	obs.Target
 
 	name string
 	prio PriorityFunc
-	// classes maps priority → LRU list of *buffer.Frame (front = MRU).
-	classes map[int]*list.List
+	// classes maps priority → LRU chain (front = MRU). Chains persist
+	// across Reset so steady-state replays reuse them.
+	classes map[int]*intrusive.List[*buffer.Frame]
+	// classIDs is the sorted key set of classes.
+	classIDs []int
 	// lastRank is the victim's LRU rank within its priority class at
 	// selection time.
 	lastRank int
-}
-
-// prioAux is the per-frame state of a PriorityLRU.
-type prioAux struct {
-	class int
-	elem  *list.Element
 }
 
 // NewLRUT returns the type-based LRU policy (paper §2.1).
@@ -71,43 +76,53 @@ func NewLRUP() *PriorityLRU {
 // NewPriorityLRU returns an LRU policy stratified by the given priority
 // function.
 func NewPriorityLRU(name string, prio PriorityFunc) *PriorityLRU {
-	return &PriorityLRU{name: name, prio: prio, classes: make(map[int]*list.List), lastRank: -1}
+	return &PriorityLRU{
+		name:     name,
+		prio:     prio,
+		classes:  make(map[int]*intrusive.List[*buffer.Frame]),
+		lastRank: -1,
+	}
 }
 
 // Name implements buffer.Policy.
 func (p *PriorityLRU) Name() string { return p.name }
 
+// class returns the chain for the given priority, creating it (and
+// inserting the ID into the sorted key set) on first sight.
+func (p *PriorityLRU) class(c int) *intrusive.List[*buffer.Frame] {
+	if l, ok := p.classes[c]; ok {
+		return l
+	}
+	l := new(intrusive.List[*buffer.Frame])
+	*l = intrusive.NewList(frameHooks)
+	p.classes[c] = l
+	i := sort.SearchInts(p.classIDs, c)
+	p.classIDs = append(p.classIDs, 0)
+	copy(p.classIDs[i+1:], p.classIDs[i:])
+	p.classIDs[i] = c
+	return l
+}
+
 // OnAdmit implements buffer.Policy.
 func (p *PriorityLRU) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	class := p.prio(f.Meta)
-	l := p.classes[class]
-	if l == nil {
-		l = list.New()
-		p.classes[class] = l
-	}
-	f.SetAux(&prioAux{class: class, elem: l.PushFront(f)})
+	c := p.prio(f.Meta)
+	f.Tag = uint32(int32(c)) // sign-preserving for negative custom priorities
+	p.class(c).PushFront(f)
 }
 
 // OnHit implements buffer.Policy.
 func (p *PriorityLRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*prioAux)
-	p.classes[aux.class].MoveToFront(aux.elem)
+	p.classes[int(int32(f.Tag))].MoveToFront(f)
 }
 
 // Victim implements buffer.Policy: the LRU frame of the lowest-priority
 // class containing an unpinned frame.
 func (p *PriorityLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
-	classes := make([]int, 0, len(p.classes))
-	for c, l := range p.classes {
-		if l.Len() > 0 {
-			classes = append(classes, c)
-		}
-	}
-	sort.Ints(classes)
-	for _, c := range classes {
+	for _, c := range p.classIDs {
 		rank := 0
-		for e := p.classes[c].Back(); e != nil; e = e.Prev() {
-			if f := e.Value.(*buffer.Frame); !f.Pinned() {
+		l := p.classes[c]
+		for f := l.Back(); f != nil; f = l.Prev(f) {
+			if !f.Pinned() {
 				p.lastRank = rank
 				return f
 			}
@@ -119,20 +134,22 @@ func (p *PriorityLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 
 // OnEvict implements buffer.Policy.
 func (p *PriorityLRU) OnEvict(f *buffer.Frame) {
-	aux := f.Aux().(*prioAux)
-	p.classes[aux.class].Remove(aux.elem)
+	class := int(int32(f.Tag))
+	p.classes[class].Remove(f)
 	p.Sink().Eviction(obs.EvictionEvent{
 		Page:      f.Meta.ID,
 		Reason:    obs.ReasonPriority,
-		Criterion: float64(aux.class),
+		Criterion: float64(class),
 		LRURank:   p.lastRank,
 	})
 	p.lastRank = -1
-	f.SetAux(nil)
 }
 
-// Reset implements buffer.Policy.
+// Reset implements buffer.Policy: the chains are emptied but the class
+// map and sorted key set are kept for reuse.
 func (p *PriorityLRU) Reset() {
-	p.classes = make(map[int]*list.List)
+	for _, l := range p.classes {
+		l.Clear()
+	}
 	p.lastRank = -1
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package core_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// The zero-allocation assertions only hold without instrumentation.
+const raceEnabled = true

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/core/intrusive"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
 	"repro/internal/page"
@@ -15,23 +15,22 @@ import (
 // pages — and the spatial criterion picks the victim from it (minimum
 // criterion, LRU tie-break). candSize interpolates between pure LRU
 // (candSize = 1) and the pure spatial policy (candSize = buffer size).
+//
+// Frames ride the intrusive recency list through their embedded link
+// words; the criterion is cached in Frame.Crit at admission, so the
+// candidate scan reads one float per inspected frame and nothing on the
+// request path allocates.
 type SLRU struct {
 	obs.Target
 	tracing.SlotTarget
 
 	crit     page.Criterion
 	candSize int
-	// order holds *buffer.Frame values, front = most recently used.
-	order *list.List
+	// order is the recency list, front = most recently used.
+	order intrusive.List[*buffer.Frame]
 	// lastRank is the LRU rank of the frame most recently returned by
 	// Victim, consumed by the Eviction event in OnEvict.
 	lastRank int
-}
-
-// slruAux is the per-frame state of an SLRU policy.
-type slruAux struct {
-	elem *list.Element
-	crit float64
 }
 
 // NewSLRU returns an SLRU policy with a fixed candidate-set size of
@@ -40,7 +39,7 @@ func NewSLRU(crit page.Criterion, candSize int) *SLRU {
 	if candSize < 1 {
 		panic(fmt.Sprintf("core: SLRU candidate size must be ≥ 1, got %d", candSize))
 	}
-	return &SLRU{crit: crit, candSize: candSize, order: list.New(), lastRank: -1}
+	return &SLRU{crit: crit, candSize: candSize, order: intrusive.NewList(frameHooks), lastRank: -1}
 }
 
 // Name implements buffer.Policy.
@@ -51,12 +50,13 @@ func (p *SLRU) CandidateSize() int { return p.candSize }
 
 // OnAdmit implements buffer.Policy.
 func (p *SLRU) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	f.SetAux(&slruAux{elem: p.order.PushFront(f), crit: p.crit.Value(f.Meta)})
+	f.Crit = p.crit.Value(f.Meta)
+	p.order.PushFront(f)
 }
 
 // OnHit implements buffer.Policy.
 func (p *SLRU) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	p.order.MoveToFront(f.Aux().(*slruAux).elem)
+	p.order.MoveToFront(f)
 }
 
 // Victim implements buffer.Policy: the minimum-criterion unpinned frame
@@ -73,11 +73,10 @@ func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	var bestCrit, worstCrit float64
 	seen := 0
 	p.lastRank = -1
-	for e := p.order.Back(); e != nil; e = e.Prev() {
-		f := e.Value.(*buffer.Frame)
+	for f := p.order.Back(); f != nil; f = p.order.Prev(f) {
 		seen++
 		if !f.Pinned() {
-			c := f.Aux().(*slruAux).crit
+			c := f.Crit
 			if best == nil || c < bestCrit {
 				best, bestCrit = f, c
 				p.lastRank = seen - 1
@@ -96,9 +95,11 @@ func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 		sp.CritKind = p.crit.String()
 		sp.Rank = int32(p.lastRank)
 		sp.CritLose = worstCrit
+		sp.Slot = -1
 		if best != nil {
 			sp.Page = best.Meta.ID
 			sp.CritWin = bestCrit
+			sp.Slot = best.ArenaIndex()
 		} else {
 			sp.Err = true // every frame pinned
 		}
@@ -109,28 +110,25 @@ func (p *SLRU) Victim(ctx buffer.AccessContext) *buffer.Frame {
 
 // OnEvict implements buffer.Policy.
 func (p *SLRU) OnEvict(f *buffer.Frame) {
-	aux := f.Aux().(*slruAux)
-	p.order.Remove(aux.elem)
+	p.order.Remove(f)
 	p.Sink().Eviction(obs.EvictionEvent{
 		Page:      f.Meta.ID,
 		Reason:    obs.ReasonSLRU,
-		Criterion: aux.crit,
+		Criterion: f.Crit,
 		LRURank:   p.lastRank,
 	})
 	p.lastRank = -1
-	f.SetAux(nil)
 }
 
 // Reset implements buffer.Policy.
 func (p *SLRU) Reset() {
-	p.order.Init()
+	p.order.Clear()
 	p.lastRank = -1
 }
 
 // OnUpdate implements buffer.Updater: refresh the cached criterion and
 // the recency position.
 func (p *SLRU) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*slruAux)
-	aux.crit = p.crit.Value(f.Meta)
-	p.order.MoveToFront(aux.elem)
+	f.Crit = p.crit.Value(f.Meta)
+	p.order.MoveToFront(f)
 }

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"container/heap"
-	"fmt"
-
 	"repro/internal/buffer"
+	"repro/internal/core/intrusive"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
 	"repro/internal/page"
@@ -17,28 +15,38 @@ import (
 // two-step selection rule of the paper.
 //
 // The criterion of a page never changes while it is resident (pages are
-// read-only during queries), so frames live in an indexed min-heap ordered
-// by (criterion, last use); hits only need a heap fix for the recency
-// component and eviction is O(log n).
+// read-only during queries), so frames live in an intrusive indexed
+// min-heap ordered by (criterion, last use): the criterion is cached in
+// Frame.Crit, the recency shadow in Frame.Stamp and the heap position in
+// Frame.Slot, so hits only need a heap fix for the recency component,
+// eviction is O(log n), and no step allocates.
 type Spatial struct {
 	obs.Target
 	tracing.SlotTarget
 
 	crit page.Criterion
-	h    spatialHeap
+	h    intrusive.Heap[*buffer.Frame]
+	// parked is reusable scratch for pinned frames popped aside during
+	// victim selection.
+	parked []*buffer.Frame
 }
 
-// spatialAux is the per-frame state of a Spatial policy.
-type spatialAux struct {
-	idx  int     // position in the heap, -1 if absent
-	crit float64 // cached criterion value
-	use  uint64  // recency shadow of Frame.LastUse, updated in OnHit
+// spatialLess orders frames by (criterion, last use) ascending — the
+// paper's two-step selection rule as one comparator.
+func spatialLess(a, b *buffer.Frame) bool {
+	if a.Crit != b.Crit {
+		return a.Crit < b.Crit
+	}
+	return a.Stamp < b.Stamp
 }
+
+// frameMove caches a frame's heap position in its Slot word.
+func frameMove(f *buffer.Frame, i int32) { f.Slot = i }
 
 // NewSpatial returns the spatial policy for the given criterion; paper
 // names: A, EA, M, EM, EO.
 func NewSpatial(crit page.Criterion) *Spatial {
-	return &Spatial{crit: crit}
+	return &Spatial{crit: crit, h: intrusive.NewHeap(spatialLess, frameMove)}
 }
 
 // Name implements buffer.Policy: the paper's abbreviation of the
@@ -50,17 +58,16 @@ func (p *Spatial) Criterion() page.Criterion { return p.crit }
 
 // OnAdmit implements buffer.Policy.
 func (p *Spatial) OnAdmit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := &spatialAux{crit: p.crit.Value(f.Meta), use: now}
-	f.SetAux(aux)
-	heap.Push(&p.h, f)
+	f.Crit = p.crit.Value(f.Meta)
+	f.Stamp = now
+	p.h.Push(f)
 }
 
 // OnHit implements buffer.Policy: only the LRU tie-break component
 // changes.
 func (p *Spatial) OnHit(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*spatialAux)
-	aux.use = now
-	heap.Fix(&p.h, aux.idx)
+	f.Stamp = now
+	p.h.Fix(f.Slot)
 }
 
 // Victim implements buffer.Policy: the minimum-criterion unpinned frame,
@@ -73,27 +80,30 @@ func (p *Spatial) Victim(ctx buffer.AccessContext) *buffer.Frame {
 	}
 	// Pop pinned frames aside, take the first unpinned, push the pinned
 	// ones back. Pins are rare and shallow in this workload.
-	var parked []*buffer.Frame
+	parked := p.parked[:0]
 	var victim *buffer.Frame
 	for p.h.Len() > 0 {
-		f := p.h.frames[0]
+		f := p.h.Min()
 		if !f.Pinned() {
 			victim = f
 			break
 		}
-		parked = append(parked, heap.Pop(&p.h).(*buffer.Frame))
+		parked = append(parked, p.h.Remove(0))
 	}
 	for _, f := range parked {
-		heap.Push(&p.h, f)
+		p.h.Push(f)
 	}
+	p.parked = parked[:0]
 	if act != nil {
 		sp := act.At(span)
 		sp.Reason = obs.ReasonSpatial
 		sp.CritKind = p.crit.String()
 		sp.Rank = -1 // the heap tracks recency only as a tie-break
+		sp.Slot = -1
 		if victim != nil {
 			sp.Page = victim.Meta.ID
-			sp.CritWin = victim.Aux().(*spatialAux).crit
+			sp.CritWin = victim.Crit
+			sp.Slot = victim.ArenaIndex()
 		} else {
 			sp.Err = true // every frame pinned
 		}
@@ -106,77 +116,29 @@ func (p *Spatial) Victim(ctx buffer.AccessContext) *buffer.Frame {
 // spatial criterion value; LRURank is -1 (the heap tracks recency only
 // as a tie-break, not as a rank).
 func (p *Spatial) OnEvict(f *buffer.Frame) {
-	aux := f.Aux().(*spatialAux)
-	if aux.idx >= 0 {
-		heap.Remove(&p.h, aux.idx)
+	crit := f.Crit
+	if f.Slot >= 0 {
+		p.h.Remove(f.Slot)
 	}
 	p.Sink().Eviction(obs.EvictionEvent{
 		Page:      f.Meta.ID,
 		Reason:    obs.ReasonSpatial,
-		Criterion: aux.crit,
+		Criterion: crit,
 		LRURank:   -1,
 	})
-	f.SetAux(nil)
 }
 
-// Reset implements buffer.Policy.
-func (p *Spatial) Reset() { p.h.frames = nil }
+// Reset implements buffer.Policy. The heap's backing slice is kept, so a
+// cleared policy refills without reallocating.
+func (p *Spatial) Reset() { p.h.Clear() }
 
 // Len returns the number of tracked frames (for tests).
 func (p *Spatial) Len() int { return p.h.Len() }
 
-// checkAux panics with a descriptive message if a frame lacks spatial aux
-// state; only used in heap internals where corruption means a bug.
-func checkAux(f *buffer.Frame) *spatialAux {
-	aux, ok := f.Aux().(*spatialAux)
-	if !ok {
-		panic(fmt.Sprintf("core: frame %d has no spatial state", f.Meta.ID))
-	}
-	return aux
-}
-
-// spatialHeap is an indexed min-heap of frames ordered by
-// (criterion, last use).
-type spatialHeap struct {
-	frames []*buffer.Frame
-}
-
-func (h *spatialHeap) Len() int { return len(h.frames) }
-
-func (h *spatialHeap) Less(i, j int) bool {
-	a, b := checkAux(h.frames[i]), checkAux(h.frames[j])
-	if a.crit != b.crit {
-		return a.crit < b.crit
-	}
-	return a.use < b.use
-}
-
-func (h *spatialHeap) Swap(i, j int) {
-	h.frames[i], h.frames[j] = h.frames[j], h.frames[i]
-	checkAux(h.frames[i]).idx = i
-	checkAux(h.frames[j]).idx = j
-}
-
-func (h *spatialHeap) Push(x any) {
-	f := x.(*buffer.Frame)
-	checkAux(f).idx = len(h.frames)
-	h.frames = append(h.frames, f)
-}
-
-func (h *spatialHeap) Pop() any {
-	n := len(h.frames)
-	f := h.frames[n-1]
-	h.frames[n-1] = nil
-	h.frames = h.frames[:n-1]
-	checkAux(f).idx = -1
-	return f
-}
-
 // OnUpdate implements buffer.Updater: the page content changed, so the
 // cached criterion is recomputed and the heap reordered.
 func (p *Spatial) OnUpdate(f *buffer.Frame, now uint64, ctx buffer.AccessContext) {
-	aux := f.Aux().(*spatialAux)
-	aux.crit = p.crit.Value(f.Meta)
-	aux.use = now
-	heap.Fix(&p.h, aux.idx)
+	f.Crit = p.crit.Value(f.Meta)
+	f.Stamp = now
+	p.h.Fix(f.Slot)
 }

@@ -54,7 +54,12 @@ type Cache struct {
 	policy     buffer.Policy
 
 	frames map[page.ID]*buffer.Frame
-	clock  uint64
+	// arena pre-allocates the ghost frames: a shadow holds at most
+	// capacity frames, so evicted ghosts recycle through the arena
+	// free-list and steady-state replay allocates nothing per reference.
+	// Ghost frames carry Meta and policy state only — Page stays nil.
+	arena *buffer.Arena
+	clock uint64
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -81,6 +86,7 @@ func NewCache(policyName string, policy buffer.Policy, capacity, window int) *Ca
 		capacity:   capacity,
 		policy:     policy,
 		frames:     make(map[page.ID]*buffer.Frame, capacity),
+		arena:      buffer.NewArena(capacity),
 		winSize:    uint64(window),
 	}
 }
@@ -114,13 +120,19 @@ func (c *Cache) Ref(id page.ID, meta page.Meta, queryID uint64) bool {
 			if v := c.policy.Victim(ctx); v != nil {
 				delete(c.frames, v.Meta.ID)
 				c.policy.OnEvict(v)
+				c.arena.Free(v)
 			} else {
 				admit = false
 			}
 		}
 		if admit {
 			meta.ID = id
-			f := &buffer.Frame{Meta: meta, LastUse: now}
+			f := c.arena.Alloc()
+			if f == nil {
+				f = &buffer.Frame{} // defensive; capacity bounds residency
+			}
+			f.Meta = meta
+			f.LastUse = now
 			c.frames[id] = f
 			c.policy.OnAdmit(f, now, ctx)
 		}

@@ -41,6 +41,7 @@ func spanArgs(sp Span) map[string]any {
 		args["crit_win"] = sp.CritWin
 		args["crit_lose"] = sp.CritLose
 		args["lru_rank"] = sp.Rank
+		args["arena_slot"] = sp.Slot
 		args["page"] = uint64(sp.Page)
 	case KindAdapt:
 		args["old_c"] = sp.OldC
@@ -137,6 +138,7 @@ type jsonlSpan struct {
 	CritWin  float64 `json:"crit_win,omitempty"`
 	CritLose float64 `json:"crit_lose,omitempty"`
 	Rank     int32   `json:"lru_rank,omitempty"`
+	Slot     *int32  `json:"arena_slot,omitempty"`
 	OldC     int32   `json:"old_c,omitempty"`
 	NewC     int32   `json:"new_c,omitempty"`
 	BSpatial int32   `json:"better_spatial,omitempty"`
@@ -165,6 +167,11 @@ func WriteSpansJSONL(w io.Writer, traces [][]Span) error {
 				sp.Kind == KindUnfix || sp.Kind == KindMarkDirty) {
 				hit := sp.Hit
 				row.Hit = &hit
+			}
+			if sp.Kind == KindVictim {
+				// Pointer so slot 0 (a valid arena index) survives omitempty.
+				slot := sp.Slot
+				row.Slot = &slot
 			}
 			if err := enc.Encode(row); err != nil {
 				return err

@@ -130,6 +130,7 @@ type Span struct {
 	CritWin  float64 // criterion value of the selected victim
 	CritLose float64 // worst (largest) criterion among scanned candidates
 	Rank     int32   // victim's LRU rank, -1 when not applicable
+	Slot     int32   // arena index of the victim's frame, -1 off-arena/none
 
 	// Adaptation payload (KindAdapt).
 	OldC, NewC               int32

@@ -13,7 +13,12 @@
 // buffer manager never needs to touch entry lists on the eviction path.
 package page
 
-import "repro/internal/geom"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+)
 
 // ID identifies a page within a store. InvalidID is never allocated.
 type ID uint64
@@ -184,6 +189,17 @@ func (c Criterion) String() string {
 // Criteria lists all five spatial criteria in paper order.
 func Criteria() []Criterion {
 	return []Criterion{CritA, CritEA, CritM, CritEM, CritEO}
+}
+
+// ParseCriterion resolves a paper abbreviation ("A", "EA", "M", "EM",
+// "EO", case-insensitive) to its Criterion.
+func ParseCriterion(s string) (Criterion, error) {
+	for _, c := range Criteria() {
+		if strings.EqualFold(s, c.String()) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("page: unknown spatial criterion %q (want A, EA, M, EM or EO)", s)
 }
 
 // Value returns spatialCrit_c(p) for the page described by m.
