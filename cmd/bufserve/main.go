@@ -2,11 +2,15 @@
 // serves its live metrics over HTTP. It builds one of the synthetic
 // databases, records the page-reference trace of a query set, and then
 // replays that trace in a loop from several worker goroutines through a
-// shared buffer pool — by default a page-hashed sharded pool with one
-// shard per CPU (-shards 1 falls back to the single mutex-protected
-// SyncManager) — a steady-state workload to watch through /metrics,
-// /vars and the dashboard. With shards > 1, /metrics additionally
-// exposes per-shard residency and ASB gauges labeled shard="i".
+// shared buffer pool — by default an async page-hashed sharded pool
+// with one shard per CPU — a steady-state workload to watch through
+// /metrics, /vars and the dashboard. The pool is selected by the -pool
+// composition spec (e.g. "locked", "sharded,shards=4",
+// "async,shards=8,wbworkers=2"); the old -shards/-writeback-* flags
+// remain as deprecated aliases (-shards 1 falls back to the single
+// mutex-protected locked engine). With a sharded layout, /metrics
+// additionally exposes per-shard residency and ASB gauges labeled
+// shard="i".
 //
 // Start it and look around:
 //
@@ -100,6 +104,7 @@ type config struct {
 	policy   string
 	frac     float64
 	workers  int
+	pool     string
 	shards   int
 	duration time.Duration
 	loops    int
@@ -129,7 +134,8 @@ func main() {
 	flag.StringVar(&cfg.policy, "policy", "ASB", "replacement policy: a registry name (LRU, ASB, ...) or a parameterized spec like LRU-K:4, SLRU:EA:0.25, SPATIAL:EM, ASB:A:0.3, PIN:2")
 	flag.Float64Var(&cfg.frac, "frac", experiment.LargestFrac, "buffer size as a fraction of the database")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "concurrent replay goroutines")
-	flag.IntVar(&cfg.shards, "shards", runtime.GOMAXPROCS(0), "buffer pool shards (1 = single mutex-protected pool)")
+	flag.StringVar(&cfg.pool, "pool", "", "pool composition spec: layout[,shards=N][,wbworkers=N][,wbqueue=N] with layout bare|locked|sharded|async (empty = derive from the deprecated -shards/-writeback-* flags)")
+	flag.IntVar(&cfg.shards, "shards", runtime.GOMAXPROCS(0), "deprecated alias (use -pool): buffer pool shards (1 = single mutex-protected pool)")
 	flag.DurationVar(&cfg.duration, "duration", 0, "stop after this long (0 = run until signalled)")
 	flag.IntVar(&cfg.loops, "loops", 0, "trace replays per worker (0 = unbounded)")
 	flag.IntVar(&cfg.rate, "rate", 0, "approximate total requests/second across workers (0 = unthrottled)")
@@ -138,8 +144,8 @@ func main() {
 	flag.IntVar(&cfg.ring, "ring", live.DefaultRingCapacity, "with -events: async ring capacity in events")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "record a span trace for 1 in N requests, served at /debug/trace (0 = tracing off)")
 	flag.IntVar(&cfg.traceBuf, "trace-buf", 256, "completed traces retained per shard ring")
-	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with shards > 1: background dirty-page writer goroutines")
-	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with shards > 1: write-back queue capacity in pages")
+	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "deprecated alias (use -pool wbworkers=): async layout background dirty-page writer goroutines")
+	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "deprecated alias (use -pool wbqueue=): async layout write-back queue capacity in pages")
 	flag.StringVar(&cfg.shadowPolicies, "shadow", "LRU,SLRU 50%,ASB", "comma-separated what-if policies (names or parameterized specs like LRU-K:4) simulated by shadow caches at the real capacity (empty disables shadow profiling)")
 	flag.StringVar(&cfg.shadowLadder, "shadow-ladder", "0.5,1,2,4", "capacity multipliers the real policy is shadow-simulated at (the online miss-ratio curve)")
 	flag.IntVar(&cfg.shadowSample, "shadow-sample", 1, "feed the shadow bank 1 in N request events")
@@ -151,6 +157,36 @@ func main() {
 	}
 }
 
+// poolComposition resolves the pool composition: the -pool spec when
+// given, otherwise the historical behavior of the deprecated flags —
+// an async sharded pool with one shard per -shards, falling back to a
+// single locked engine at -shards 1.
+func poolComposition(cfg config) (buffer.Composition, error) {
+	if cfg.pool != "" {
+		comp, err := buffer.ParseComposition(cfg.pool)
+		if err != nil {
+			return buffer.Composition{}, err
+		}
+		if comp.Layout == buffer.LayoutBare && cfg.workers > 1 {
+			return buffer.Composition{}, fmt.Errorf("-pool bare is single-threaded; use -workers 1 or a locked/sharded/async layout")
+		}
+		return comp, nil
+	}
+	shards := cfg.shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards == 1 {
+		return buffer.Composition{Layout: buffer.LayoutLocked}, nil
+	}
+	return buffer.Composition{
+		Layout:           buffer.LayoutAsync,
+		Shards:           shards,
+		WritebackWorkers: cfg.wbWorkers,
+		WritebackQueue:   cfg.wbQueue,
+	}, nil
+}
+
 func run(cfg config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -160,15 +196,22 @@ func run(cfg config) error {
 		defer cancel()
 	}
 
-	// The tracer is sized by the flag-requested shard count before the
+	comp, err := poolComposition(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The tracer is sized by the composition's shard count before the
 	// pool exists so /debug/trace can be mounted before serving starts;
 	// a pool that clamps to fewer shards simply leaves trailing rings
 	// empty.
 	var tracer *tracing.Tracer
 	if cfg.traceSample > 0 {
-		rings := cfg.shards
-		if rings < 1 {
-			rings = 1
+		rings := 1
+		if comp.Layout == buffer.LayoutSharded || comp.Layout == buffer.LayoutAsync {
+			if rings = comp.Shards; rings < 1 {
+				rings = runtime.GOMAXPROCS(0)
+			}
 		}
 		tracer = tracing.NewTracer(cfg.traceSample, rings, cfg.traceBuf)
 	}
@@ -207,52 +250,42 @@ func run(cfg config) error {
 		return err
 	}
 	frames := db.Frames(cfg.frac)
-	shards := cfg.shards
-	if shards < 1 {
-		shards = 1
+	pool, err := comp.Build(db.Store, fac.New, frames)
+	if err != nil {
+		return err
 	}
-	var pool buffer.Pool
-	if shards == 1 {
-		pol := fac.New(frames)
-		m, err := buffer.NewManager(db.Store, pol, frames)
-		if err != nil {
-			return err
-		}
-		pool = buffer.NewSyncManager(m)
-		if asb, ok := pol.(live.ASBGauges); ok {
-			svc.AddASBGauges(asb)
-		}
-	} else {
-		// The sharded pool runs in async mode: physical reads happen
-		// outside the shard locks (concurrent misses for one page share a
-		// single read) and dirty evictions drain through the background
-		// write-back queue the two -writeback-* flags size.
-		sp, err := buffer.NewAsyncShardedPool(db.Store, fac.New, frames, shards,
-			buffer.AsyncConfig{WritebackWorkers: cfg.wbWorkers, WritebackQueue: cfg.wbQueue})
-		if err != nil {
-			return err
-		}
-		defer sp.Close()
-		pool = sp
+	if c, ok := pool.(interface{ Close() error }); ok {
+		defer c.Close()
+	}
+	shards := 1
+	if sp, ok := pool.(interface{ Shards() int }); ok {
 		shards = sp.Shards() // may have been clamped for tiny buffers
+	}
+	if ap, ok := pool.(*buffer.AsyncPool); ok {
 		svc.AddGauge("spatialbuf_writeback_queue_depth", "Pages waiting in the background write-back queue.",
-			func() float64 { return float64(sp.Writeback().Depth) })
+			func() float64 { return float64(ap.Writeback().Depth) })
 		svc.AddGauge("spatialbuf_writeback_pending_pages", "Pages queued or mid-write in the write-back machinery.",
-			func() float64 { return float64(sp.Writeback().Pending) })
+			func() float64 { return float64(ap.Writeback().Pending) })
 		svc.AddGauge("spatialbuf_writeback_written_total", "Completed background page writes.",
-			func() float64 { return float64(sp.Writeback().Written) })
+			func() float64 { return float64(ap.Writeback().Written) })
 		svc.AddGauge("spatialbuf_writeback_coalesced_total", "Write-backs absorbed by an already-queued entry for the same page.",
-			func() float64 { return float64(sp.Writeback().Coalesced) })
+			func() float64 { return float64(ap.Writeback().Coalesced) })
 		svc.AddGauge("spatialbuf_writeback_fallbacks_total", "Evictions written synchronously because the queue was full.",
-			func() float64 { return float64(sp.Writeback().Fallbacks) })
+			func() float64 { return float64(ap.Writeback().Fallbacks) })
 		svc.AddGauge("spatialbuf_writeback_queue_capacity", "Write-back queue capacity in pages.",
-			func() float64 { return float64(sp.Writeback().QueueCap) })
+			func() float64 { return float64(ap.Writeback().QueueCap) })
 		svc.AddGauge("spatialbuf_writeback_canceled_total", "Queued write-backs canceled because the page was re-admitted before its write ran.",
-			func() float64 { return float64(sp.Writeback().Canceled) })
+			func() float64 { return float64(ap.Writeback().Canceled) })
 		svc.AddGauge("spatialbuf_writeback_errors_total", "Background page writes that failed.",
-			func() float64 { return float64(sp.Writeback().Errors) })
+			func() float64 { return float64(ap.Writeback().Errors) })
 		svc.AddGauge("spatialbuf_inflight_reads", "Physical reads currently in flight across all shards (singleflight leaders).",
-			func() float64 { return float64(sp.InflightReads()) })
+			func() float64 { return float64(ap.InflightReads()) })
+	}
+	if sp, ok := pool.(interface {
+		Shards() int
+		ShardLen(i int) int
+		ShardPolicy(i int) buffer.Policy
+	}); ok {
 		var asbParts []live.ASBGauges
 		for i := 0; i < sp.Shards(); i++ {
 			svc.AddLabeledGauge("spatialbuf_shard_resident_pages",
@@ -269,16 +302,21 @@ func run(cfg config) error {
 			// frames and overflow pages summed across the shards.
 			svc.AddASBGauges(live.SumASBGauges(asbParts...))
 		}
+	} else if pp, ok := pool.(interface{ Policy() buffer.Policy }); ok {
+		if asb, ok := pp.Policy().(live.ASBGauges); ok {
+			svc.AddASBGauges(asb)
+		}
 	}
 	if tracer != nil {
 		cont := tracing.NewContention(shards)
-		switch p := pool.(type) {
-		case *buffer.SyncManager:
-			p.SetTracer(tracer)
-			p.EnableContention(cont)
-		case *buffer.ShardedPool:
-			p.SetTracer(tracer)
-			p.EnableContention(cont)
+		if tp, ok := pool.(interface {
+			SetTracer(t *tracing.Tracer)
+			EnableContention(c *tracing.Contention)
+		}); ok {
+			tp.SetTracer(tracer)
+			tp.EnableContention(cont)
+		} else if e, ok := pool.(*buffer.Engine); ok {
+			e.SetTracer(tracer, 0)
 		}
 		svc.AddContentionGauges(cont)
 		svc.AddTracerGauges(tracer)
@@ -327,8 +365,8 @@ func run(cfg config) error {
 	}
 	pool.SetSink(obs.Tee(sinks...))
 
-	fmt.Printf("bufserve: %s, %d-page buffer (%s, %.1f%%, %d shards), replaying %s (%d refs) on %d workers\n",
-		db.Name, frames, cfg.policy, cfg.frac*100, shards, cfg.set, tr.Len(), cfg.workers)
+	fmt.Printf("bufserve: %s, %d-page buffer (%s, %.1f%%, pool %s, %d shards), replaying %s (%d refs) on %d workers\n",
+		db.Name, frames, cfg.policy, cfg.frac*100, comp, shards, cfg.set, tr.Len(), cfg.workers)
 
 	var wg sync.WaitGroup
 	var interval time.Duration

@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -78,6 +79,7 @@ type config struct {
 	window     int
 	ctraj      string
 	serve      string
+	pool       string
 	shards     int
 
 	traceOut    string
@@ -107,11 +109,12 @@ func main() {
 	flag.IntVar(&cfg.window, "window", 0, "with -sets: print hit ratios over windows of N requests")
 	flag.StringVar(&cfg.ctraj, "ctraj", "", "run the Fig. 14 adaptation workload and write the c-trajectory CSV to this file")
 	flag.StringVar(&cfg.serve, "serve", "", "serve live metrics on this address (e.g. :8080) while the run executes")
-	flag.IntVar(&cfg.shards, "shards", 1, "with -events/-window: replay through a page-hashed sharded pool with this many shards (per-shard policy instances)")
+	flag.StringVar(&cfg.pool, "pool", "", "with -events/-window/-shadow: pool composition spec for instrumented replays, layout[,shards=N][,wbworkers=N][,wbqueue=N] with layout bare|locked|sharded|async (empty = derive from the deprecated -shards/-writeback-* flags)")
+	flag.IntVar(&cfg.shards, "shards", 1, "deprecated alias (use -pool): replay through an async page-hashed sharded pool with this many shards (per-shard policy instances)")
 	flag.StringVar(&cfg.traceOut, "trace-out", "", "write request span traces as Chrome trace-event JSON to this file")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1024, "with -trace-out: trace 1 in N buffer requests")
-	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "with -shards > 1: background dirty-page writer goroutines")
-	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "with -shards > 1: write-back queue capacity in pages")
+	flag.IntVar(&cfg.wbWorkers, "writeback-workers", buffer.DefaultWritebackWorkers, "deprecated alias (use -pool wbworkers=): async layout background dirty-page writer goroutines")
+	flag.IntVar(&cfg.wbQueue, "writeback-queue", buffer.DefaultWritebackQueue, "deprecated alias (use -pool wbqueue=): async layout write-back queue capacity in pages")
 	flag.StringVar(&cfg.shadowPolicies, "shadow", "", "with -sets: comma-separated what-if policies shadow-simulated during instrumented replays (names or specs, e.g. LRU,SLRU 50%,LRU-K:4,ASB)")
 	flag.StringVar(&cfg.shadowLadder, "shadow-ladder", "0.5,1,2,4", "with -shadow: capacity multipliers the replayed policy is shadow-simulated at")
 	flag.IntVar(&cfg.shadowSample, "shadow-sample", 1, "with -shadow: feed the shadow bank 1 in N request events")
@@ -137,8 +140,32 @@ func main() {
 	}
 }
 
+// poolComposition resolves the instrumented-replay pool composition:
+// the -pool spec when given, otherwise the historical behavior of the
+// deprecated flags — an async sharded pool at -shards > 1, a bare
+// engine otherwise (the replay is single-threaded).
+func poolComposition(cfg config) (buffer.Composition, error) {
+	if cfg.pool != "" {
+		return buffer.ParseComposition(cfg.pool)
+	}
+	if cfg.shards > 1 {
+		return buffer.Composition{
+			Layout:           buffer.LayoutAsync,
+			Shards:           cfg.shards,
+			WritebackWorkers: cfg.wbWorkers,
+			WritebackQueue:   cfg.wbQueue,
+		}, nil
+	}
+	return buffer.Composition{Layout: buffer.LayoutBare}, nil
+}
+
 func run(cfg config) error {
 	opts := experiment.Options{Objects: cfg.objects, Seed: cfg.seed}
+
+	comp, err := poolComposition(cfg)
+	if err != nil {
+		return err
+	}
 
 	var tracer *tracing.Tracer
 	if cfg.traceOut != "" {
@@ -146,9 +173,11 @@ func run(cfg config) error {
 		if sample < 1 {
 			sample = 1
 		}
-		rings := cfg.shards
-		if rings < 1 {
-			rings = 1
+		rings := 1
+		if comp.Layout == buffer.LayoutSharded || comp.Layout == buffer.LayoutAsync {
+			if rings = comp.Shards; rings < 1 {
+				rings = runtime.GOMAXPROCS(0)
+			}
 		}
 		// Offline runs keep a deep ring: the file is written once at the
 		// end, so retention is the only thing bounding what it can show.
@@ -355,8 +384,11 @@ func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit fun
 		return err
 	}
 	if cfg.events != "" || cfg.window > 0 || cfg.shadowPolicies != "" {
-		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, cfg.shards,
-			buffer.AsyncConfig{WritebackWorkers: cfg.wbWorkers, WritebackQueue: cfg.wbQueue}, tracer,
+		comp, err := poolComposition(cfg)
+		if err != nil {
+			return err
+		}
+		return instrumentedReplays(db, setNames, polNames, fracList, cfg.seed, cfg.events, cfg.window, comp, tracer,
 			splitCSV(cfg.shadowPolicies), parseLadder(cfg.shadowLadder), cfg.shadowSample)
 	}
 	return nil
@@ -368,14 +400,14 @@ func adHoc(cfg config, opts experiment.Options, tracer *tracing.Tracer, emit fun
 // report. Kept separate from the parallel sweep so the measured tables
 // stay unperturbed and the event file has a deterministic order.
 //
-// The replays program against buffer.Pool: with shards > 1 each
-// combination runs through a page-hashed async ShardedPool (one policy
-// instance per shard, events tagged with their shard, physical reads
-// outside the shard locks), measuring the partitioned variant of each
-// policy instead of the monolithic one. The replay itself is
-// single-threaded, where the async pool is stat-for-stat identical to
-// the synchronous one, so the tables stay comparable.
-func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, shards int, asyncCfg buffer.AsyncConfig, tracer *tracing.Tracer, shadowPols []string, shadowLadder []float64, shadowSample int) error {
+// The replays program against buffer.Pool: each combination runs
+// through the pool composition comp describes — with a sharded layout,
+// one policy instance per shard, events tagged with their shard,
+// measuring the partitioned variant of each policy instead of the
+// monolithic one. The replay itself is single-threaded, where the async
+// pool is stat-for-stat identical to the synchronous one, so the tables
+// stay comparable.
+func instrumentedReplays(db *experiment.Database, setNames, polNames []string, fracs []float64, seed int64, eventsPath string, window int, comp buffer.Composition, tracer *tracing.Tracer, shadowPols []string, shadowLadder []float64, shadowSample int) error {
 	var jsonl *obs.JSONLSink
 	if eventsPath != "" {
 		f, err := os.Create(eventsPath)
@@ -419,35 +451,24 @@ func instrumentedReplays(db *experiment.Database, setNames, polNames []string, f
 					// hangs directly off the tee — no async ring needed.
 					sinks = append(sinks, obs.NewSamplingSink(bank, shadowSample))
 				}
-				var pool buffer.Pool
-				var sp *buffer.ShardedPool
-				if shards > 1 {
-					sp, err = buffer.NewAsyncShardedPool(db.Store, fac.New, frames, shards, asyncCfg)
-					if err != nil {
-						return fmt.Errorf("instrumented replay %s: %w", label, err)
-					}
-					pool = sp
-				} else {
-					m, err := buffer.NewManager(db.Store, fac.New(frames), frames)
-					if err != nil {
-						return fmt.Errorf("instrumented replay %s: %w", label, err)
-					}
-					pool = m
+				pool, err := comp.Build(db.Store, fac.New, frames)
+				if err != nil {
+					return fmt.Errorf("instrumented replay %s: %w", label, err)
 				}
 				pool.SetSink(obs.Tee(sinks...))
 				if tracer != nil {
 					switch p := pool.(type) {
-					case *buffer.ShardedPool:
+					case interface{ SetTracer(t *tracing.Tracer) }:
 						p.SetTracer(tracer)
-					case *buffer.Manager:
+					case *buffer.Engine:
 						p.SetTracer(tracer, 0)
 					}
 				}
 				if _, err := trace.ReplayOn(tr, pool); err != nil {
 					return fmt.Errorf("instrumented replay %s: %w", label, err)
 				}
-				if sp != nil {
-					if err := sp.Close(); err != nil {
+				if c, ok := pool.(interface{ Close() error }); ok {
+					if err := c.Close(); err != nil {
 						return fmt.Errorf("instrumented replay %s: close: %w", label, err)
 					}
 				}

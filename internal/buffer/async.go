@@ -1,0 +1,119 @@
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/obs/tracing"
+)
+
+// DefaultWritebackWorkers is the number of background writer goroutines
+// used when AsyncConfig leaves it zero.
+const DefaultWritebackWorkers = 2
+
+// AsyncConfig tunes the asynchronous I/O machinery of the async layer.
+// The zero value selects the defaults.
+type AsyncConfig struct {
+	// WritebackWorkers is the number of background goroutines writing
+	// dirty evicted pages to the store (default DefaultWritebackWorkers).
+	WritebackWorkers int
+	// WritebackQueue is the write-back queue capacity in pages (default
+	// DefaultWritebackQueue). When the queue is full, evictions fall back
+	// to a synchronous under-lock write — the backpressure path.
+	WritebackQueue int
+}
+
+// AsyncPool is the asynchronous-I/O layer over a Router: every shard
+// engine's miss path is switched to the non-blocking protocol — the
+// shard lock protects only in-memory state, the physical read happens
+// outside it (with per-shard singleflight coalescing of concurrent
+// misses for the same page) — and dirty evicted pages drain through one
+// shared bounded background write-back queue. See the "I/O concurrency
+// contract" section of DESIGN.md for the protocol.
+//
+// Semantics relative to the synchronous router:
+//
+//   - Logical counters (Stats) are identical for single-threaded
+//     read-only workloads; under concurrency, coalesced misses are
+//     additionally counted in Stats.Coalesced, so DiskReads stays the
+//     physical read count.
+//   - Dirty write-backs are asynchronous. Flush, Clear and Close drain
+//     the queue before returning; until then the pool itself serves the
+//     queued versions on a miss (read-your-writes), never the stale
+//     store.
+//
+// Call Close when done with the pool to stop the writer goroutines; an
+// un-Closed pool leaks them but is otherwise harmless (they idle on an
+// empty queue).
+type AsyncPool struct {
+	*Router
+	wb *writeback
+}
+
+// Async stacks the asynchronous-I/O layer on a router. The router must
+// not be used directly afterwards (the layer overrides its barrier
+// operations); it must not already carry an async layer.
+func Async(r *Router, cfg AsyncConfig) *AsyncPool {
+	workers := cfg.WritebackWorkers
+	if workers < 1 {
+		workers = DefaultWritebackWorkers
+	}
+	queueCap := cfg.WritebackQueue
+	if queueCap < 1 {
+		queueCap = DefaultWritebackQueue
+	}
+	p := &AsyncPool{Router: r, wb: newWriteback(r.store, workers, queueCap)}
+	for _, sh := range r.shards {
+		sh.e.enableAsync(p.wb)
+	}
+	return p
+}
+
+// Writeback returns a snapshot of the background write-back queue
+// counters.
+func (p *AsyncPool) Writeback() WritebackMetrics { return p.wb.metrics() }
+
+// Flush writes back all dirty resident pages, shard by shard, after
+// first draining the background write-back queue — so when Flush
+// returns every write-back decided before the call is durable. The
+// drain comes first deliberately: queued pages are never resident
+// (re-admission cancels their queued write), so the two write sets are
+// disjoint, and draining first means no background writer is still
+// running behind the per-shard flushes.
+func (p *AsyncPool) Flush() error {
+	if err := p.wb.drain(); err != nil {
+		return fmt.Errorf("buffer: write-back drain: %w", err)
+	}
+	return p.Router.Flush()
+}
+
+// Close flushes the pool (draining the write-back queue) and stops the
+// background writer goroutines. The pool remains usable afterwards —
+// with the queue closed, dirty evictions fall back to synchronous
+// writes.
+func (p *AsyncPool) Close() error {
+	err := p.Flush()
+	if cerr := p.wb.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Clear evicts everything, resets every shard's policy and zeroes all
+// counters, draining the write-back queue first (and clearing its
+// sticky error either way — Clear zeroes all accounting).
+func (p *AsyncPool) Clear() error {
+	err := p.wb.drain()
+	p.wb.resetErr()
+	if err != nil {
+		return fmt.Errorf("buffer: write-back drain: %w", err)
+	}
+	return p.Router.Clear()
+}
+
+// SetTracer attaches a tracer to every shard (see Router.SetTracer) and
+// to the background write-back workers, whose store writes record
+// KindWriteback spans. A nil tracer detaches.
+func (p *AsyncPool) SetTracer(t *tracing.Tracer) {
+	p.Router.SetTracer(t)
+	p.wb.setTracer(t)
+}

@@ -1,12 +1,34 @@
 // Package buffer implements the buffer manager in front of a page store:
 // the component whose replacement policy the paper studies.
 //
-// The manager holds up to a fixed number of page frames. A page request is
-// a hit (served from memory, no physical I/O) or a miss (one physical read
-// through the store, possibly preceded by an eviction chosen by the
-// replacement Policy). Requests carry an AccessContext with the current
-// query ID: the paper (§2.2) treats two accesses as correlated exactly when
-// they belong to the same query, which the LRU-K policy needs.
+// The package is organized as one core engine plus three orthogonal,
+// stackable layers:
+//
+//   - Engine — the unlocked, single-threaded core that owns the entire
+//     request path: frame arena lifecycle, hit/miss accounting,
+//     read-before-evict ordering, pin counts, dirty tracking, policy
+//     callbacks, and the only code that emits observability events,
+//     shadow metadata and request-scoped tracing spans.
+//   - LockedEngine — a mutex around an Engine, with lock-contention and
+//     lock-wait profiling (Lock).
+//   - Router — a page-hash sharding layer over locked engines, with
+//     per-shard policy instances, shard-tagged events and exact stats
+//     merging (NewRouter).
+//   - AsyncPool — an asynchronous-I/O layer: per-shard singleflight
+//     read coalescing and a bounded background write-back queue
+//     (Async).
+//
+// Compositions are described by a Composition spec (ParseComposition /
+// Composition.Build); the historical Manager, SyncManager, ShardedPool
+// and AsyncShardedPool names remain as thin constructors over this
+// stack. See DESIGN.md, "Engine layering".
+//
+// A page request is a hit (served from memory, no physical I/O) or a
+// miss (one physical read through the store, possibly preceded by an
+// eviction chosen by the replacement Policy). Requests carry an
+// AccessContext with the current query ID: the paper (§2.2) treats two
+// accesses as correlated exactly when they belong to the same query,
+// which the LRU-K policy needs.
 //
 // The replacement policies themselves (LRU, LRU-T, LRU-P, LRU-K, the
 // spatial strategies, SLRU and the adaptable spatial buffer) live in
@@ -15,14 +37,9 @@ package buffer
 
 import (
 	"errors"
-	"fmt"
-	"time"
 
 	"repro/internal/core/intrusive"
-	"repro/internal/obs"
-	"repro/internal/obs/tracing"
 	"repro/internal/page"
-	"repro/internal/storage"
 )
 
 // ErrAllPinned is returned when a miss cannot evict because every frame is
@@ -37,9 +54,9 @@ type AccessContext struct {
 }
 
 // Frame is one buffer slot: a cached page, its descriptor, and the
-// bookkeeping the manager and policy need.
+// bookkeeping the engine and policy need.
 //
-// Beyond the manager-owned fields, a frame embeds the intrusive words the
+// Beyond the engine-owned fields, a frame embeds the intrusive words the
 // replacement policies link it with: list hooks, a heap slot, a scratch
 // tag, a cached criterion and a recency stamp. Exactly one policy owns a
 // frame per residence (OnAdmit to OnEvict), so the words are shared
@@ -49,8 +66,8 @@ type Frame struct {
 	Meta page.Meta
 	Page *page.Page
 
-	// LastUse is the logical time (manager clock) of the most recent
-	// request for this frame. The manager updates it after OnHit returns,
+	// LastUse is the logical time (engine clock) of the most recent
+	// request for this frame. The engine updates it after OnHit returns,
 	// so policies observe the previous value during the callback and
 	// receive the new value as the callback's now argument.
 	LastUse uint64
@@ -84,7 +101,7 @@ type Frame struct {
 	Crit float64
 
 	// Stamp is a policy-owned recency shadow of LastUse (Spatial updates
-	// it in OnHit, before the manager bumps LastUse).
+	// it in OnHit, before the engine bumps LastUse).
 	Stamp uint64
 
 	// aux is policy-private per-frame state for policies outside this
@@ -99,7 +116,7 @@ type Frame struct {
 // evictable.
 func (f *Frame) Pinned() bool { return f.pins > 0 }
 
-// ArenaIndex returns the frame's slot in its manager's arena, or -1 for
+// ArenaIndex returns the frame's slot in its engine's arena, or -1 for
 // frames constructed outside an arena (hand-made test frames).
 func (f *Frame) ArenaIndex() int32 { return f.arena - 1 }
 
@@ -111,18 +128,18 @@ func (f *Frame) SetAux(v any) { f.aux = v }
 
 // Policy decides which frame to evict when the buffer is full.
 //
-// The manager guarantees: OnAdmit is called exactly once per residence of a
+// The engine guarantees: OnAdmit is called exactly once per residence of a
 // page; OnHit only for admitted frames; Victim only when at least one frame
 // exists; OnEvict exactly once for the frame most recently returned by
 // Victim. Victim must never return a pinned frame (return nil instead,
-// which the manager surfaces as ErrAllPinned).
+// which the engine surfaces as ErrAllPinned).
 type Policy interface {
 	// Name returns the policy's display name (e.g. "LRU", "ASB").
 	Name() string
 	// OnAdmit is invoked when f enters the buffer at logical time now.
 	OnAdmit(f *Frame, now uint64, ctx AccessContext)
 	// OnHit is invoked when a request finds f in the buffer. f.LastUse
-	// still holds the previous access time; the manager sets it to now
+	// still holds the previous access time; the engine sets it to now
 	// after the callback returns.
 	OnHit(f *Frame, now uint64, ctx AccessContext)
 	// Victim selects the frame to evict, or nil if every frame is pinned.
@@ -130,20 +147,28 @@ type Policy interface {
 	// it to exclude pages whose last reference is correlated with the
 	// current access (paper §2.2, third case).
 	Victim(ctx AccessContext) *Frame
-	// OnEvict is invoked after the manager removed f from the buffer.
+	// OnEvict is invoked after the engine removed f from the buffer.
 	OnEvict(f *Frame)
-	// Reset discards all policy state (the manager was cleared).
+	// Reset discards all policy state (the buffer was cleared).
 	Reset()
 }
 
-// Stats are the logical access counters of a Manager. DiskReads equals
-// Misses: every miss costs exactly one physical read.
+// Updater is an optional Policy extension for policies that cache
+// page-derived state (e.g. spatial criteria): OnUpdate is invoked instead
+// of OnHit when a resident page's content changes via Put.
+type Updater interface {
+	OnUpdate(f *Frame, now uint64, ctx AccessContext)
+}
+
+// Stats are the logical access counters of an Engine. DiskReads equals
+// Misses minus Coalesced: every non-coalesced miss costs exactly one
+// physical read.
 type Stats struct {
 	Requests  uint64
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	// Puts counts write-path requests (Manager.Put); they are not part
+	// Puts counts write-path requests (Engine.Put); they are not part
 	// of Requests/Hits/Misses, which describe the read path.
 	Puts uint64
 	// WriteBacks counts dirty pages handed to the store on eviction or
@@ -160,7 +185,7 @@ type Stats struct {
 }
 
 // Add accumulates o into s, field by field. It is the merge operation
-// behind ShardedPool.Stats: counters are additive, so the merge of the
+// behind Router.Stats: counters are additive, so the merge of the
 // per-shard snapshots equals the counters of the whole run.
 func (s *Stats) Add(o Stats) {
 	s.Requests += o.Requests
@@ -188,551 +213,4 @@ func (s Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Requests)
-}
-
-// Manager is the buffer manager. It is not safe for concurrent use; the
-// experiment harness runs one manager per goroutine.
-type Manager struct {
-	store    storage.Store
-	policy   Policy
-	capacity int
-
-	// io is the store the request path actually reads and writes: the raw
-	// store normally, or a storage.Traced wrapper around it while a tracer
-	// is attached (so physical I/O shows up as child spans).
-	io storage.Store
-
-	frames map[page.ID]*Frame
-	arena  *Arena
-	clock  uint64
-	stats  Stats
-
-	// sink receives observability events; never nil (NopSink by
-	// default), so the hot path emits unconditionally and stays
-	// allocation-free when unobserved.
-	sink obs.Sink
-	// timer is non-nil only when sink implements obs.LatencyRecorder;
-	// then each request is bracketed with monotonic-clock readings and
-	// the elapsed nanoseconds published. Latency-blind sinks (including
-	// NopSink) keep the hot path free of clock reads.
-	timer obs.LatencyRecorder
-
-	// tracer samples request-scoped span traces; nil when tracing is
-	// disabled (the request path then pays a single pointer test). shard
-	// is the pool-shard index stamped on every span this manager records.
-	tracer *tracing.Tracer
-	shard  int
-	// slot hands the current request's Active trace to the policy and the
-	// traced store; it is read and written only under the manager's
-	// serialization (its shard's lock in concurrent pools).
-	slot tracing.Slot
-	// pendingLockWait is the shard-lock wait of the request about to run,
-	// deposited by the enclosing concurrent pool after it acquired the
-	// lock and consumed (and cleared) by the next traced request.
-	pendingLockWait int64
-
-	// wb, when non-nil, receives dirty evicted pages for background
-	// write-back instead of the synchronous under-lock store write.
-	wb writebackEnqueuer
-}
-
-// NewManager creates a buffer of the given capacity (in frames, ≥ 1) over
-// store, managed by policy.
-func NewManager(store storage.Store, policy Policy, capacity int) (*Manager, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("buffer: capacity %d, need ≥ 1", capacity)
-	}
-	if store == nil || policy == nil {
-		return nil, errors.New("buffer: nil store or policy")
-	}
-	return &Manager{
-		store:    store,
-		policy:   policy,
-		capacity: capacity,
-		io:       store,
-		frames:   make(map[page.ID]*Frame, capacity),
-		arena:    NewArena(capacity),
-		sink:     obs.NopSink{},
-	}, nil
-}
-
-// SetSink attaches an observability sink to the manager and, if the
-// policy implements obs.SinkSetter, to the policy as well — one call
-// instruments the whole stack. A nil sink detaches (back to NopSink).
-// The manager emits Request events; instrumented policies emit
-// Eviction, OverflowPromotion and Adapt events.
-func (m *Manager) SetSink(s obs.Sink) {
-	if s == nil {
-		s = obs.NopSink{}
-	}
-	m.sink = s
-	m.timer, _ = s.(obs.LatencyRecorder)
-	if ss, ok := m.policy.(obs.SinkSetter); ok {
-		ss.SetSink(s)
-	}
-}
-
-// SetTracer attaches a request-scoped span tracer to the manager, to its
-// store (via a storage.Traced wrapper, so physical I/O appears as child
-// spans) and, if the policy implements tracing.SlotSetter, to the policy
-// (so victim selections and ASB adaptations appear as child spans) —
-// like SetSink, one call instruments the whole stack. shard is the pool
-// shard this manager serves (0 for an unsharded manager); it is stamped
-// on every span and selects the tracer's trace ring. A nil tracer
-// detaches everything.
-func (m *Manager) SetTracer(t *tracing.Tracer, shard int) {
-	m.tracer = t
-	m.shard = shard
-	m.pendingLockWait = 0
-	if t != nil {
-		m.io = storage.Traced(m.store, &m.slot)
-	} else {
-		m.io = m.store
-		m.slot.SetActive(nil)
-	}
-	if ss, ok := m.policy.(tracing.SlotSetter); ok {
-		if t != nil {
-			ss.SetTraceSlot(&m.slot)
-		} else {
-			ss.SetTraceSlot(nil)
-		}
-	}
-}
-
-// Tracer returns the attached tracer, or nil when tracing is disabled.
-func (m *Manager) Tracer() *tracing.Tracer { return m.tracer }
-
-// depositLockWait records the shard-lock wait of the request about to
-// run; the next traced request attaches it to its root span. Called by
-// the concurrent pools after acquiring the shard lock.
-func (m *Manager) depositLockWait(ns int64) { m.pendingLockWait = ns }
-
-// latencyTimer returns the sink's latency recorder, or nil when the
-// attached sink is latency-blind. The async pool's request path times
-// itself (it bypasses timedServe), so it needs the recorder directly.
-func (m *Manager) latencyTimer() obs.LatencyRecorder { return m.timer }
-
-// Capacity returns the buffer capacity in frames.
-func (m *Manager) Capacity() int { return m.capacity }
-
-// Len returns the number of resident pages.
-func (m *Manager) Len() int { return len(m.frames) }
-
-// Contains reports whether the page is resident (without counting a
-// request or touching policy state).
-func (m *Manager) Contains(id page.ID) bool {
-	_, ok := m.frames[id]
-	return ok
-}
-
-// Policy returns the replacement policy driving this manager.
-func (m *Manager) Policy() Policy { return m.policy }
-
-// Stats returns the logical access counters.
-func (m *Manager) Stats() Stats { return m.stats }
-
-// Get requests the page without pinning it. The returned page must be
-// treated as read-only and may be evicted by any later request.
-func (m *Manager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	f, err := m.request(tracing.KindGet, id, ctx)
-	if err != nil {
-		return nil, err
-	}
-	return f.Page, nil
-}
-
-// Fix requests the page and pins its frame; the caller must Unfix it.
-// Pinned frames are never evicted.
-func (m *Manager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	f, err := m.request(tracing.KindFix, id, ctx)
-	if err != nil {
-		return nil, err
-	}
-	f.pins++
-	return f.Page, nil
-}
-
-// Unfix releases one pin on the page. Like Get/Put it routes through
-// the tracing plumbing: sampled unfixes record a root span (Hit set
-// when the page was resident), so pin-leak debugging can line pins and
-// unpins up in one trace timeline.
-func (m *Manager) Unfix(id page.ID) error {
-	if m.tracer != nil {
-		wait := m.pendingLockWait
-		m.pendingLockWait = 0
-		if a := m.tracer.StartRequest(tracing.KindUnfix, id, 0, m.shard, wait); a != nil {
-			resident := m.Contains(id)
-			err := m.unfix(id)
-			a.Finish(resident, err != nil)
-			return err
-		}
-	}
-	return m.unfix(id)
-}
-
-// unfix is the untraced pin release.
-func (m *Manager) unfix(id page.ID) error {
-	f, ok := m.frames[id]
-	if !ok {
-		return fmt.Errorf("buffer: unfix of non-resident page %d", id)
-	}
-	if f.pins == 0 {
-		return fmt.Errorf("buffer: unfix of unpinned page %d", id)
-	}
-	f.pins--
-	return nil
-}
-
-// MarkDirty flags a resident page for write-back on eviction or Flush.
-// Sampled calls record a root span like Get/Put, so the dirtying of a
-// page is visible in the same trace timeline as its later write-back.
-func (m *Manager) MarkDirty(id page.ID) error {
-	if m.tracer != nil {
-		wait := m.pendingLockWait
-		m.pendingLockWait = 0
-		if a := m.tracer.StartRequest(tracing.KindMarkDirty, id, 0, m.shard, wait); a != nil {
-			resident := m.Contains(id)
-			err := m.markDirty(id)
-			a.Finish(resident, err != nil)
-			return err
-		}
-	}
-	return m.markDirty(id)
-}
-
-// markDirty is the untraced dirty flagging.
-func (m *Manager) markDirty(id page.ID) error {
-	f, ok := m.frames[id]
-	if !ok {
-		return fmt.Errorf("buffer: mark dirty of non-resident page %d", id)
-	}
-	f.Dirty = true
-	return nil
-}
-
-// request implements the hit/miss protocol, timing the request when the
-// sink asked for latencies and tracing it when a tracer sampled it.
-func (m *Manager) request(kind tracing.SpanKind, id page.ID, ctx AccessContext) (*Frame, error) {
-	if m.tracer != nil {
-		wait := m.pendingLockWait
-		m.pendingLockWait = 0
-		if a := m.tracer.StartRequest(kind, id, ctx.QueryID, m.shard, wait); a != nil {
-			m.slot.SetActive(a)
-			hitsBefore := m.stats.Hits
-			f, err := m.timedServe(id, ctx)
-			m.slot.SetActive(nil)
-			a.Finish(m.stats.Hits > hitsBefore, err != nil)
-			return f, err
-		}
-	}
-	return m.timedServe(id, ctx)
-}
-
-// timedServe brackets serve with latency timing when the sink asked for
-// it.
-func (m *Manager) timedServe(id page.ID, ctx AccessContext) (*Frame, error) {
-	if m.timer == nil {
-		return m.serve(id, ctx)
-	}
-	start := time.Now()
-	f, err := m.serve(id, ctx)
-	m.timer.RecordLatency(time.Since(start).Nanoseconds())
-	return f, err
-}
-
-// serve is the untimed hit/miss protocol. It is composed from the
-// locked primitives below (hitLocked/missLocked/admitLocked) so the
-// concurrent pools can run the same protocol with the physical read
-// lifted out of the critical section; the composition here performs the
-// exact seed sequence: count, read, evict, admit.
-func (m *Manager) serve(id page.ID, ctx AccessContext) (*Frame, error) {
-	if f, ok := m.frames[id]; ok {
-		m.hitLocked(f, ctx)
-		return f, nil
-	}
-	now := m.missLocked(id, ctx, false)
-	// Read before evicting: a failed read must not discard a perfectly
-	// good cached page (or count an eviction) for a request that errored.
-	p, err := m.io.Read(id)
-	if err != nil {
-		// The miss was counted, so its event must still flow — with a
-		// zero Meta, since no page materialized.
-		m.emitMiss(id, ctx, false, page.Meta{})
-		return nil, err
-	}
-	// Emit after the successful read, so the event carries the page's
-	// Meta (shadow caches replay spatial criteria from it), and before
-	// admission, so Request still precedes any Eviction it causes.
-	m.emitMiss(id, ctx, false, p.Meta)
-	return m.admitLocked(p, now, ctx)
-}
-
-// frame returns the resident frame for id, or nil — residency lookup
-// without any request accounting, for the concurrent pools' fast path.
-func (m *Manager) frame(id page.ID) *Frame { return m.frames[id] }
-
-// hitLocked accounts one read request served by the resident frame f:
-// clock tick, hit counters, sink event, policy OnHit, LastUse update.
-// Must run under the manager's serialization.
-func (m *Manager) hitLocked(f *Frame, ctx AccessContext) {
-	m.clock++
-	now := m.clock
-	m.stats.Requests++
-	m.stats.Hits++
-	m.sink.Request(obs.RequestEvent{Page: f.Meta.ID, QueryID: ctx.QueryID, Hit: true, Meta: f.Meta})
-	m.policy.OnHit(f, now, ctx)
-	f.LastUse = now
-}
-
-// missLocked accounts one read request that missed and returns the
-// request's logical time, at which the page should later be admitted.
-// coalesced marks misses that will share another request's physical
-// read instead of performing their own. Counting is split from event
-// emission (emitMiss) so the miss paths can attach the read page's Meta
-// to the event once the read resolved. Must run under the manager's
-// serialization.
-func (m *Manager) missLocked(id page.ID, ctx AccessContext, coalesced bool) uint64 {
-	m.clock++
-	m.stats.Requests++
-	m.stats.Misses++
-	if coalesced {
-		m.stats.Coalesced++
-	}
-	return m.clock
-}
-
-// emitMiss publishes the Request event of a miss counted by missLocked,
-// exactly once per counted miss. meta is the descriptor of the page the
-// miss resolved to, or the zero Meta when none materialized (failed
-// reads, coalesced waiters). Must run under the manager's serialization.
-func (m *Manager) emitMiss(id page.ID, ctx AccessContext, coalesced bool, meta page.Meta) {
-	m.sink.Request(obs.RequestEvent{Page: id, QueryID: ctx.QueryID, Hit: false, Coalesced: coalesced, Meta: meta})
-}
-
-// tickLocked advances the logical clock for a request that was already
-// accounted (a coalesced waiter retrying as a fresh reader). Must run
-// under the manager's serialization.
-func (m *Manager) tickLocked() uint64 {
-	m.clock++
-	return m.clock
-}
-
-// admitLocked installs the freshly read page at logical time now,
-// evicting first when the buffer is full. Must run under the manager's
-// serialization; now must come from missLocked/tickLocked.
-func (m *Manager) admitLocked(p *page.Page, now uint64, ctx AccessContext) (*Frame, error) {
-	if len(m.frames) >= m.capacity {
-		if err := m.evictOne(ctx); err != nil {
-			return nil, err
-		}
-	}
-	f := m.allocFrame()
-	f.Meta = p.Meta
-	f.Page = p
-	f.LastUse = now
-	m.frames[p.ID] = f
-	m.policy.OnAdmit(f, now, ctx)
-	return f, nil
-}
-
-// allocFrame takes a scrubbed frame from the arena. The capacity check in
-// the admit paths guarantees a free frame (residents ≤ capacity = arena
-// size); the heap fallback only exists so an invariant bug degrades to an
-// allocation instead of a crash.
-func (m *Manager) allocFrame() *Frame {
-	if f := m.arena.Alloc(); f != nil {
-		return f
-	}
-	return &Frame{}
-}
-
-// writebackEnqueuer is the hook a background write-back queue installs
-// on a manager (via setWriteback): enqueue hands over a dirty evicted
-// page and reports whether the queue accepted it. It is called under
-// the shard lock, so it must never block; a false return (queue full or
-// closed) makes the manager fall back to a synchronous write — the
-// queue-full backpressure path. take cancels (and returns) the pending
-// entry for a page, so a newer version entering the buffer supersedes a
-// queued older one before its stale write can land.
-type writebackEnqueuer interface {
-	enqueue(p *page.Page) bool
-	take(id page.ID) (*page.Page, bool)
-}
-
-// setWriteback attaches (or, with nil, detaches) a background
-// write-back queue: dirty victims are enqueued instead of written
-// synchronously under the lock.
-func (m *Manager) setWriteback(wb writebackEnqueuer) { m.wb = wb }
-
-// evictOne asks the policy for a victim, writes it back if dirty (or
-// hands it to the background write-back queue when one is attached),
-// and removes it.
-func (m *Manager) evictOne(ctx AccessContext) error {
-	v := m.policy.Victim(ctx)
-	if v == nil {
-		return ErrAllPinned
-	}
-	if v.Pinned() {
-		return fmt.Errorf("buffer: policy %s returned pinned victim %d", m.policy.Name(), v.Meta.ID)
-	}
-	if _, ok := m.frames[v.Meta.ID]; !ok {
-		return fmt.Errorf("buffer: policy %s returned non-resident victim %d", m.policy.Name(), v.Meta.ID)
-	}
-	if v.Dirty {
-		if m.wb != nil && m.wb.enqueue(v.Page) {
-			// Queued: a background writer will perform the physical
-			// write; until then misses on this page are served from the
-			// queue (read-your-writes), never from the stale store.
-		} else if err := m.io.Write(v.Page); err != nil {
-			return fmt.Errorf("buffer: write-back of page %d: %w", v.Meta.ID, err)
-		}
-		m.stats.WriteBacks++
-	}
-	delete(m.frames, v.Meta.ID)
-	m.stats.Evictions++
-	m.policy.OnEvict(v)
-	// The policy has unlinked the frame and nothing above holds a *Frame
-	// (callers only ever see *page.Page), so the slot recycles to the
-	// free-list for the admission that triggered this eviction.
-	m.arena.Free(v)
-	return nil
-}
-
-// Flush writes back all dirty resident pages without evicting them.
-// Flushes are rare and expensive, so a tracer records every one (no
-// sampling), with one store.Write child span per dirty page.
-func (m *Manager) Flush() error {
-	if a := m.tracer.StartOp(tracing.KindFlush, m.shard); a != nil {
-		m.slot.SetActive(a)
-		err := m.flush()
-		m.slot.SetActive(nil)
-		a.Finish(false, err != nil)
-		return err
-	}
-	return m.flush()
-}
-
-// flush is the untraced write-back loop.
-func (m *Manager) flush() error {
-	for _, f := range m.frames {
-		if !f.Dirty {
-			continue
-		}
-		if err := m.io.Write(f.Page); err != nil {
-			return fmt.Errorf("buffer: flush page %d: %w", f.Meta.ID, err)
-		}
-		m.stats.WriteBacks++
-		f.Dirty = false
-	}
-	return nil
-}
-
-// Clear evicts everything (writing back dirty pages), resets the policy
-// and zeroes the statistics. The paper clears the buffer before each query
-// set "in order to increase the comparability of the results" (§3).
-func (m *Manager) Clear() error {
-	if err := m.Flush(); err != nil {
-		return err
-	}
-	clear(m.frames)
-	// Reset the policy while the frame links are still intact (its Clear
-	// walks them), then scrub and refill the arena.
-	m.policy.Reset()
-	m.arena.Reset()
-	m.clock = 0
-	m.stats = Stats{}
-	return nil
-}
-
-// ResidentIDs returns the IDs of all resident pages, for tests and
-// introspection. Order is unspecified.
-func (m *Manager) ResidentIDs() []page.ID {
-	ids := make([]page.ID, 0, len(m.frames))
-	for id := range m.frames {
-		ids = append(ids, id)
-	}
-	return ids
-}
-
-// Updater is an optional Policy extension for policies that cache
-// page-derived state (e.g. spatial criteria): OnUpdate is invoked instead
-// of OnHit when a resident page's content changes via Put.
-type Updater interface {
-	OnUpdate(f *Frame, now uint64, ctx AccessContext)
-}
-
-// Put installs a new version of a page in the buffer and marks it dirty;
-// it is the write path for update workloads. A non-resident page is
-// admitted without a physical read (the caller provides the content); a
-// resident page is replaced in place. Dirty pages are written back on
-// eviction or Flush. Like reads, Puts are timed when the sink implements
-// obs.LatencyRecorder.
-func (m *Manager) Put(p *page.Page, ctx AccessContext) error {
-	if m.tracer != nil && p != nil {
-		wait := m.pendingLockWait
-		m.pendingLockWait = 0
-		if a := m.tracer.StartRequest(tracing.KindPut, p.ID, ctx.QueryID, m.shard, wait); a != nil {
-			m.slot.SetActive(a)
-			resident := m.Contains(p.ID)
-			err := m.timedPut(p, ctx)
-			m.slot.SetActive(nil)
-			// A Put "hits" when it replaced a resident page in place.
-			a.Finish(resident, err != nil)
-			return err
-		}
-	}
-	return m.timedPut(p, ctx)
-}
-
-// timedPut brackets put with latency timing when the sink asked for it.
-func (m *Manager) timedPut(p *page.Page, ctx AccessContext) error {
-	if m.timer == nil {
-		return m.put(p, ctx)
-	}
-	start := time.Now()
-	err := m.put(p, ctx)
-	m.timer.RecordLatency(time.Since(start).Nanoseconds())
-	return err
-}
-
-// put is the untimed write path.
-func (m *Manager) put(p *page.Page, ctx AccessContext) error {
-	if p == nil || p.ID == page.InvalidID {
-		return errors.New("buffer: put of invalid page")
-	}
-	m.clock++
-	now := m.clock
-	m.stats.Puts++
-
-	if f, ok := m.frames[p.ID]; ok {
-		f.Page = p
-		f.Meta = p.Meta
-		f.Dirty = true
-		if u, ok := m.policy.(Updater); ok {
-			u.OnUpdate(f, now, ctx)
-		} else {
-			m.policy.OnHit(f, now, ctx)
-		}
-		f.LastUse = now
-		return nil
-	}
-
-	if m.wb != nil {
-		// A queued write-back of an older version is superseded by this
-		// content; cancel it so the stale write can never land after ours.
-		m.wb.take(p.ID)
-	}
-	if len(m.frames) >= m.capacity {
-		if err := m.evictOne(ctx); err != nil {
-			return err
-		}
-	}
-	f := m.allocFrame()
-	f.Meta = p.Meta
-	f.Page = p
-	f.LastUse = now
-	f.Dirty = true
-	m.frames[p.ID] = f
-	m.policy.OnAdmit(f, now, ctx)
-	return nil
 }

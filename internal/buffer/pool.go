@@ -7,17 +7,22 @@ import (
 
 // Pool is the buffer abstraction every consumer programs against: the
 // read path (Get/Fix/Unfix), the write path (Put/MarkDirty/Flush), the
-// lifecycle (Clear), and introspection (Stats/Len/SetSink). Three
-// implementations cover the concurrency spectrum:
+// lifecycle (Clear), and introspection (Stats/Len/SetSink). One engine
+// and three stackable layers cover the concurrency spectrum:
 //
-//   - Manager — the single-threaded pool the paper's experiments use;
-//     fastest when one goroutine owns the buffer.
-//   - SyncManager — one mutex around a Manager; strict global accounting
-//     shared by many goroutines, throughput limited by the single lock.
-//   - ShardedPool — page.ID-hashed shards, each an independent Manager
-//     with its own policy instance behind its own mutex; scales with
-//     cores at the cost of partitioned (per-shard) policy state.
+//   - Engine — the bare single-threaded core the paper's experiments
+//     use; fastest when one goroutine owns the buffer.
+//   - LockedEngine (Lock) — one mutex around an Engine; strict global
+//     accounting shared by many goroutines, throughput limited by the
+//     single lock.
+//   - Router (NewRouter) — page.ID-hashed shards, each an independent
+//     locked engine with its own policy instance; scales with cores at
+//     the cost of partitioned (per-shard) policy state.
+//   - AsyncPool (Async) — a router whose engines read outside the shard
+//     lock (singleflight-coalesced) and write back dirty victims in the
+//     background; for miss-heavy workloads on slow stores.
 //
+// Composition.Build constructs any of the four from a spec string.
 // rtree queries, the trace replayer and the serving commands all accept
 // a Pool, so swapping the concurrency model is a constructor change, not
 // a call-site change.
@@ -56,9 +61,12 @@ type Pool interface {
 // instances. core.Factory.New is of this type.
 type PolicyFactory func(capacity int) Policy
 
-// Compile-time interface checks: all three pool flavours implement Pool.
+// Compile-time interface checks: the engine, every layer stack, and the
+// historical combined type implement Pool.
 var (
-	_ Pool = (*Manager)(nil)
-	_ Pool = (*SyncManager)(nil)
+	_ Pool = (*Engine)(nil)
+	_ Pool = (*LockedEngine)(nil)
+	_ Pool = (*Router)(nil)
+	_ Pool = (*AsyncPool)(nil)
 	_ Pool = (*ShardedPool)(nil)
 )

@@ -1,750 +1,99 @@
 package buffer
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/obs"
 	"repro/internal/obs/tracing"
-	"repro/internal/page"
 	"repro/internal/storage"
 )
 
-// ShardedPool partitions a buffer across N independent shards, each an
-// unexported Manager with its own replacement-policy instance behind its
-// own mutex. Requests hash page.ID to a shard, so goroutines touching
-// different shards never contend — the standard escape from the single
-// global lock of SyncManager on multi-core serving workloads.
-//
-// Semantics relative to one big Manager:
-//
-//   - Capacity is split across the shards (as evenly as page counts
-//     allow), and each policy instance is constructed by the
-//     PolicyFactory with its shard's capacity, so capacity-relative
-//     parameters (SLRU candidate sets, ASB overflow sizing) scale down
-//     per shard. ASB's self-tuning c adapts independently per shard:
-//     each shard sees an unbiased hash-sample of the reference stream,
-//     so the per-shard signals of §4.2 estimate the same workload
-//     property the global signal would.
-//   - Replacement decisions are local to a shard. A single-shard pool
-//     (Shards() == 1) is behaviourally identical to a bare Manager —
-//     the equivalence the tests pin down; with more shards the resident
-//     set partitions, which can change miss counts slightly (the classic
-//     partitioned-LRU approximation).
-//   - Stats() merges the per-shard counters with Stats.Add; the sums are
-//     exact because each counter is owned by exactly one shard.
-//
-// A ShardedPool is safe for concurrent use by any number of goroutines.
-// Sinks attached via SetSink receive the merged event stream of all
-// shards (each event tagged with its shard index via obs.TagShard) and
-// must therefore be safe for concurrent use, exactly as with
-// SyncManager.
-//
-// A pool built by NewAsyncShardedPool additionally runs the miss path
-// asynchronously: the shard lock protects only in-memory state, the
-// physical read happens outside it (with per-shard singleflight
-// coalescing of concurrent misses for the same page), and dirty evicted
-// pages drain through a bounded background write-back queue. See the
-// "I/O concurrency contract" section of DESIGN.md for the protocol.
+// ShardedPool is the historical combined sharded pool: a Router,
+// optionally with the async-I/O layer stacked on top (the pre-layering
+// API folded both into one type switched by a constructor flag). It is
+// kept so existing constructors, type switches and tests keep working;
+// new code should build a Router (NewRouter), stack Async on it, or use
+// a Composition spec.
 type ShardedPool struct {
-	shards   []*poolShard
-	capacity int
-
-	// contention, when set, profiles every shard-lock acquisition of the
-	// request path (Get/Put/Fix); traceWait additionally deposits the
-	// measured wait with the shard's manager so it lands in the root span
-	// of traced requests. Both are read before taking a shard lock, hence
-	// atomic; when neither is set the request path pays two atomic loads.
-	contention atomic.Pointer[tracing.Contention]
-	traceWait  atomic.Bool
-
-	// async marks a pool built by NewAsyncShardedPool. store is the
-	// shared page store the async miss path reads directly (outside any
-	// shard lock); wb is the background write-back queue every shard's
-	// manager enqueues dirty victims into. All three are set once at
-	// construction and never change.
-	async bool
-	store storage.Store
-	wb    *writeback
+	*Router
+	// a is the async layer, nil on synchronous pools. The barrier
+	// operations below dispatch through it so write-back draining keeps
+	// working for pools built by NewAsyncShardedPool.
+	a *AsyncPool
 }
 
-// poolShard is one partition: a Manager guarded by its own mutex. The
-// shards are separately heap-allocated, so two shards' hot mutexes never
-// share a cache line through this struct.
-type poolShard struct {
-	mu sync.Mutex
-	m  *Manager
-	// flight is the shard's singleflight table: one entry per page whose
-	// physical read is currently in progress outside the lock. Nil on
-	// synchronous pools; guarded by mu on async ones.
-	flight map[page.ID]*inflight
-}
-
-// NewShardedPool builds a pool of the given total capacity (in frames)
-// over the store, with one policy instance per shard constructed by the
-// factory. shards is clamped to [1, capacity/2] so every shard owns at
-// least two frames (the minimum any standard policy accepts); pass
-// shards = 1 for a drop-in, lock-per-request equivalent of SyncManager.
-// The store is shared by all shards and must be safe for concurrent use.
+// NewShardedPool builds a synchronous sharded pool: a Router of locked
+// engines (see NewRouter for the capacity-split and clamping rules).
+//
+// Deprecated: use NewRouter, or build the composition with
+// Composition.Build.
 func NewShardedPool(store storage.Store, factory PolicyFactory, capacity, shards int) (*ShardedPool, error) {
-	if store == nil || factory == nil {
-		return nil, errors.New("buffer: nil store or policy factory")
-	}
-	if capacity < 1 {
-		return nil, fmt.Errorf("buffer: capacity %d, need ≥ 1", capacity)
-	}
-	if shards < 1 {
-		shards = 1
-	}
-	if max := capacity / 2; shards > max {
-		shards = max
-		if shards < 1 {
-			shards = 1
-		}
-	}
-	p := &ShardedPool{shards: make([]*poolShard, shards), capacity: capacity}
-	base, extra := capacity/shards, capacity%shards
-	for i := range p.shards {
-		shardCap := base
-		if i < extra {
-			shardCap++
-		}
-		pol := factory(shardCap)
-		if pol == nil {
-			return nil, fmt.Errorf("buffer: policy factory returned nil for shard %d", i)
-		}
-		m, err := NewManager(store, pol, shardCap)
-		if err != nil {
-			return nil, fmt.Errorf("buffer: shard %d: %w", i, err)
-		}
-		p.shards[i] = &poolShard{m: m}
-	}
-	return p, nil
-}
-
-// DefaultWritebackWorkers is the number of background writer goroutines
-// used when AsyncConfig leaves it zero.
-const DefaultWritebackWorkers = 2
-
-// AsyncConfig tunes the asynchronous I/O machinery of a pool built by
-// NewAsyncShardedPool. The zero value selects the defaults.
-type AsyncConfig struct {
-	// WritebackWorkers is the number of background goroutines writing
-	// dirty evicted pages to the store (default DefaultWritebackWorkers).
-	WritebackWorkers int
-	// WritebackQueue is the write-back queue capacity in pages (default
-	// DefaultWritebackQueue). When the queue is full, evictions fall back
-	// to a synchronous under-lock write — the backpressure path.
-	WritebackQueue int
-}
-
-// NewAsyncShardedPool builds a ShardedPool whose miss path performs
-// physical reads outside the shard lock: concurrent misses for the same
-// page coalesce into one read (per-shard singleflight) and dirty
-// evicted pages are written back by background workers instead of under
-// the lock. Semantics relative to the synchronous pool:
-//
-//   - Logical counters (Stats) are identical for single-threaded
-//     read-only workloads; under concurrency, coalesced misses are
-//     additionally counted in Stats.Coalesced, so DiskReads stays the
-//     physical read count.
-//   - Dirty write-backs are asynchronous. Flush, Clear and Close drain
-//     the queue before returning; until then the pool itself serves the
-//     queued versions on a miss (read-your-writes), never the stale
-//     store.
-//
-// Call Close when done with the pool to stop the writer goroutines; an
-// un-Closed pool leaks them but is otherwise harmless (they idle on an
-// empty queue).
-func NewAsyncShardedPool(store storage.Store, factory PolicyFactory, capacity, shards int, cfg AsyncConfig) (*ShardedPool, error) {
-	p, err := NewShardedPool(store, factory, capacity, shards)
+	r, err := NewRouter(store, factory, capacity, shards)
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.WritebackWorkers
-	if workers < 1 {
-		workers = DefaultWritebackWorkers
+	return &ShardedPool{Router: r}, nil
+}
+
+// NewAsyncShardedPool builds a sharded pool with the asynchronous-I/O
+// layer: physical reads outside the shard lock with singleflight
+// coalescing, dirty evictions through a bounded background write-back
+// queue (see Async). Call Close when done to stop the writer
+// goroutines.
+//
+// Deprecated: use Async over NewRouter, or build the composition with
+// Composition.Build.
+func NewAsyncShardedPool(store storage.Store, factory PolicyFactory, capacity, shards int, cfg AsyncConfig) (*ShardedPool, error) {
+	r, err := NewRouter(store, factory, capacity, shards)
+	if err != nil {
+		return nil, err
 	}
-	queueCap := cfg.WritebackQueue
-	if queueCap < 1 {
-		queueCap = DefaultWritebackQueue
-	}
-	p.async = true
-	p.store = store
-	p.wb = newWriteback(store, workers, queueCap)
-	for _, sh := range p.shards {
-		sh.flight = make(map[page.ID]*inflight)
-		sh.m.setWriteback(p.wb)
-	}
-	return p, nil
+	a := Async(r, cfg)
+	return &ShardedPool{Router: r, a: a}, nil
 }
 
 // Async reports whether the pool runs the asynchronous miss path.
-func (p *ShardedPool) Async() bool { return p.async }
+func (p *ShardedPool) Async() bool { return p.a != nil }
 
 // Writeback returns a snapshot of the background write-back queue
 // counters; the zero snapshot for synchronous pools.
 func (p *ShardedPool) Writeback() WritebackMetrics {
-	if p.wb == nil {
+	if p.a == nil {
 		return WritebackMetrics{}
 	}
-	return p.wb.metrics()
+	return p.a.Writeback()
 }
 
-// InflightReads returns the number of physical reads currently in
-// progress outside the shard locks — the summed occupancy of the
-// per-shard singleflight tables. Always 0 on synchronous pools, whose
-// reads run under the shard lock. The shards are counted one after
-// another, so under churn the sum is an instantaneous estimate, not an
-// atomic snapshot — the usual multi-counter scrape contract.
-func (p *ShardedPool) InflightReads() int {
-	if !p.async {
-		return 0
-	}
-	n := 0
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		n += len(sh.flight)
-		sh.mu.Unlock()
-	}
-	return n
-}
-
-// shardIndex routes a page ID to its shard index. The murmur3 finalizer
-// mixes the (often dense, sequential) page IDs so neighbouring tree
-// nodes spread across shards instead of piling onto one.
-func (p *ShardedPool) shardIndex(id page.ID) int {
-	h := uint64(id)
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	return int(h % uint64(len(p.shards)))
-}
-
-// shardFor routes a page ID to its shard.
-func (p *ShardedPool) shardFor(id page.ID) *poolShard {
-	return p.shards[p.shardIndex(id)]
-}
-
-// lockShard acquires shard i's lock for a request, measuring the wait
-// (0 when neither a contention profiler nor a tracer wants it). The
-// synchronous request paths deposit the wait with the shard's manager
-// for its root span; the async path attaches it to its own root span.
-func (p *ShardedPool) lockShard(i int) (*poolShard, int64) {
-	sh := p.shards[i]
-	c := p.contention.Load()
-	traced := p.traceWait.Load()
-	if c == nil && !traced {
-		sh.mu.Lock()
-		return sh, 0
-	}
-	if c != nil {
-		c.BeginWait(i)
-	}
-	start := time.Now()
-	sh.mu.Lock()
-	wait := time.Since(start).Nanoseconds()
-	if c != nil {
-		c.EndWait(i, wait)
-	}
-	return sh, wait
-}
-
-// Shards returns the number of shards (≥ 1; may be lower than requested
-// at construction when the capacity could not feed that many shards).
-func (p *ShardedPool) Shards() int { return len(p.shards) }
-
-// Capacity returns the total buffer capacity in frames (the sum of the
-// shard capacities).
-func (p *ShardedPool) Capacity() int { return p.capacity }
-
-// ShardCapacity returns the capacity of shard i in frames.
-func (p *ShardedPool) ShardCapacity(i int) int { return p.shards[i].m.Capacity() }
-
-// ShardPolicy returns shard i's replacement-policy instance. The policy
-// is driven under the shard's mutex, so while the pool is serving, only
-// accessors documented as concurrency-safe (e.g. core.ASB's atomic
-// gauge mirrors) may be called on it.
-func (p *ShardedPool) ShardPolicy(i int) Policy { return p.shards[i].m.Policy() }
-
-// ShardLen returns the number of pages resident in shard i.
-func (p *ShardedPool) ShardLen(i int) int {
-	sh := p.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.m.Len()
-}
-
-// ShardStats returns a snapshot of shard i's counters.
-func (p *ShardedPool) ShardStats(i int) Stats {
-	sh := p.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.m.Stats()
-}
-
-// Get implements Pool (and rtree.Reader): the request is served by the
-// page's shard. On a synchronous pool the whole request (including any
-// physical read) runs under the shard's lock; on an async pool only the
-// in-memory bookkeeping does.
-func (p *ShardedPool) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	if p.async {
-		return p.asyncRequest(tracing.KindGet, id, ctx, false)
-	}
-	sh, wait := p.lockShard(p.shardIndex(id))
-	defer sh.mu.Unlock()
-	sh.m.depositLockWait(wait)
-	return sh.m.Get(id, ctx)
-}
-
-// Put implements Pool: the write path of the page's shard. Put never
-// reads the store (the caller provides the content), so it runs under
-// the shard lock on async pools too; a dirty victim it evicts is still
-// queued for background write-back.
-func (p *ShardedPool) Put(pg *page.Page, ctx AccessContext) error {
-	if pg == nil || pg.ID == page.InvalidID {
-		return errors.New("buffer: put of invalid page")
-	}
-	sh, wait := p.lockShard(p.shardIndex(pg.ID))
-	defer sh.mu.Unlock()
-	sh.m.depositLockWait(wait)
-	return sh.m.Put(pg, ctx)
-}
-
-// Fix implements Pool: pins the page in its shard.
-func (p *ShardedPool) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	if p.async {
-		return p.asyncRequest(tracing.KindFix, id, ctx, true)
-	}
-	sh, wait := p.lockShard(p.shardIndex(id))
-	defer sh.mu.Unlock()
-	sh.m.depositLockWait(wait)
-	return sh.m.Fix(id, ctx)
-}
-
-// Unfix implements Pool.
-func (p *ShardedPool) Unfix(id page.ID) error {
-	sh, wait := p.lockShard(p.shardIndex(id))
-	defer sh.mu.Unlock()
-	sh.m.depositLockWait(wait)
-	return sh.m.Unfix(id)
-}
-
-// MarkDirty implements Pool.
-func (p *ShardedPool) MarkDirty(id page.ID) error {
-	sh, wait := p.lockShard(p.shardIndex(id))
-	defer sh.mu.Unlock()
-	sh.m.depositLockWait(wait)
-	return sh.m.MarkDirty(id)
-}
-
-// asyncRequest serves a Get (pin=false) or Fix (pin=true) on an async
-// pool, timing the request when the sink asked for latencies and
-// tracing it when the tracer sampled it. Latency brackets the work
-// after lock acquisition, matching the synchronous path's timing scope.
-func (p *ShardedPool) asyncRequest(kind tracing.SpanKind, id page.ID, ctx AccessContext, pin bool) (*page.Page, error) {
-	i := p.shardIndex(id)
-	sh, wait := p.lockShard(i)
-
-	timer := sh.m.latencyTimer()
-	var start time.Time
-	if timer != nil {
-		start = time.Now()
-	}
-	var a *tracing.Active
-	if t := sh.m.Tracer(); t != nil {
-		a = t.StartRequest(kind, id, ctx.QueryID, i, wait)
-	}
-
-	pg, hit, err := p.asyncServe(sh, a, id, ctx, pin)
-
-	if timer != nil {
-		timer.RecordLatency(time.Since(start).Nanoseconds())
-	}
-	a.Finish(hit, err != nil)
-	return pg, err
-}
-
-// asyncServe is the non-blocking miss protocol. It is entered with
-// sh.mu held and always returns with it released. Under the lock it
-// checks, in order: the resident frames (hit), the shard's singleflight
-// table (coalesce onto an in-progress read), and the write-back queue
-// (read-your-writes: a queued dirty page is re-admitted without I/O).
-// Only when all three miss does it become the leader: it registers an
-// inflight entry, releases the lock, reads the store, and re-acquires
-// the lock to publish the result to any waiters and admit the page.
-//
-// counted flips when the request has been accounted (exactly one
-// Request event per call); the loop only repeats for Fix waiters, whose
-// pin requires a resident frame and who therefore retry after the
-// leader's publication until they can pin (or become leaders
-// themselves).
-func (p *ShardedPool) asyncServe(sh *poolShard, a *tracing.Active, id page.ID, ctx AccessContext, pin bool) (*page.Page, bool, error) {
-	m := sh.m
-	counted := false
-	for {
-		// The shard's Active slot carries the trace to the policy and the
-		// traced store while we hold the lock; it must be parked (and
-		// cleared before every unlock) because other requests use the
-		// shard — and the slot — while we wait or read.
-		if a != nil {
-			m.slot.SetActive(a)
-		}
-
-		if fr := m.frame(id); fr != nil {
-			hit := false
-			if !counted {
-				m.hitLocked(fr, ctx)
-				hit = true
-			}
-			if pin {
-				fr.pins++
-			}
-			res := fr.Page
-			if a != nil {
-				m.slot.SetActive(nil)
-			}
-			sh.mu.Unlock()
-			return res, hit, nil
-		}
-
-		if fl, ok := sh.flight[id]; ok {
-			// Another request is reading this page right now: count a
-			// coalesced miss and wait for its result outside the lock. The
-			// event is emitted here, under the lock, with a zero Meta — the
-			// waiter never observes the page while holding the lock, and
-			// deferring emission past the unlock would interleave it with
-			// other requests' events (documented accuracy caveat of the
-			// shadow-cache contract).
-			if !counted {
-				m.missLocked(id, ctx, true)
-				m.emitMiss(id, ctx, true, page.Meta{})
-				counted = true
-			}
-			if a != nil {
-				m.slot.SetActive(nil)
-			}
-			sh.mu.Unlock()
-
-			widx := int32(-1)
-			if a != nil {
-				widx = a.Start(tracing.KindIOWait)
-			}
-			<-fl.done
-			if a != nil {
-				sp := a.At(widx)
-				sp.Page = id
-				sp.Hit = true // coalesced: shared another request's read
-				a.End(widx)
-			}
-			if fl.err != nil {
-				return nil, false, fl.err
-			}
-			if !pin {
-				// Get needs only the bytes; the leader admitted (or
-				// resolved) the page, no re-lock required.
-				return fl.page, false, nil
-			}
-			// Fix must pin a resident frame; retry under the lock (the
-			// frame may already be evicted again, in which case the loop
-			// coalesces or leads a fresh read — without recounting).
-			sh.mu.Lock()
-			continue
-		}
-
-		if pg, ok := p.wb.take(id); ok {
-			// The page sits in the write-back queue: the store still holds
-			// stale bytes, so the queued version is re-admitted directly —
-			// no I/O — and stays dirty (its canceled write must eventually
-			// happen via a later eviction or Flush).
-			var now uint64
-			if !counted {
-				now = m.missLocked(id, ctx, true)
-				m.emitMiss(id, ctx, true, pg.Meta)
-				counted = true
-			} else {
-				now = m.tickLocked()
-			}
-			fr, err := m.admitLocked(pg, now, ctx)
-			if a != nil {
-				m.slot.SetActive(nil)
-			}
-			if err != nil {
-				// Admission failed (all frames pinned): the dirty page must
-				// not be lost — put its write back in motion.
-				if !p.wb.enqueue(pg) {
-					if werr := p.store.Write(pg); werr != nil {
-						err = errors.Join(err, werr)
-					}
-				}
-				sh.mu.Unlock()
-				return nil, false, err
-			}
-			fr.Dirty = true
-			if pin {
-				fr.pins++
-			}
-			res := fr.Page
-			sh.mu.Unlock()
-			return res, false, nil
-		}
-
-		// Leader: register the read and perform it outside the lock. The
-		// miss is counted now, but its event is emitted at publish time
-		// (under the re-lock, before admission) so it can carry the Meta of
-		// the page the request actually resolved to.
-		var now uint64
-		emitPending := !counted
-		if !counted {
-			now = m.missLocked(id, ctx, false)
-			counted = true
-		} else {
-			now = m.tickLocked()
-		}
-		fl := &inflight{done: make(chan struct{})}
-		sh.flight[id] = fl
-		if a != nil {
-			m.slot.SetActive(nil)
-		}
-		sh.mu.Unlock()
-
-		ridx := int32(-1)
-		if a != nil {
-			ridx = a.Start(tracing.KindStoreRead)
-		}
-		rpg, rerr := p.store.Read(id)
-		if a != nil {
-			sp := a.At(ridx)
-			sp.Page = id
-			sp.Err = rerr != nil
-			if rpg != nil {
-				sp.Bytes = int32(storage.PageBytes(rpg))
-			}
-			a.End(ridx)
-		}
-
-		sh.mu.Lock()
-		if a != nil {
-			m.slot.SetActive(a)
-		}
-		published := rpg
-		var fr *Frame
-		var aerr error
-		if rerr != nil {
-			// The counted miss still emits exactly one event; no page
-			// materialized, so its Meta stays zero.
-			if emitPending {
-				m.emitMiss(id, ctx, false, page.Meta{})
-			}
-		} else {
-			if fr = m.frame(id); fr != nil {
-				// A Put raced the page in while we read: its version is
-				// newer — serve it and discard the read.
-				published = fr.Page
-				if emitPending {
-					m.emitMiss(id, ctx, false, fr.Meta)
-				}
-			} else if pg, ok := p.wb.take(id); ok {
-				// Re-admitted dirty (by a Put) and evicted again while we
-				// read: the queued version is newer than our read.
-				published = pg
-				if emitPending {
-					m.emitMiss(id, ctx, false, pg.Meta)
-				}
-				fr, aerr = m.admitLocked(pg, now, ctx)
-				if fr != nil {
-					fr.Dirty = true
-				} else if !p.wb.enqueue(pg) {
-					if werr := p.store.Write(pg); werr != nil {
-						aerr = errors.Join(aerr, werr)
-					}
-				}
-			} else {
-				if emitPending {
-					m.emitMiss(id, ctx, false, rpg.Meta)
-				}
-				fr, aerr = m.admitLocked(rpg, now, ctx)
-			}
-		}
-		// Publish: fields first, then unregister, then close — all under
-		// the lock, so the close happens-before any waiter's field read
-		// and a failed read leaves no residue for later misses. Waiters
-		// get the resolved bytes even when only admission failed
-		// (ErrAllPinned is the leader's error, not theirs).
-		fl.page, fl.err = published, rerr
-		delete(sh.flight, id)
-		close(fl.done)
-		if a != nil {
-			m.slot.SetActive(nil)
-		}
-		if rerr != nil || aerr != nil {
-			sh.mu.Unlock()
-			if rerr != nil {
-				return nil, false, rerr
-			}
-			return nil, false, aerr
-		}
-		if pin {
-			fr.pins++
-		}
-		res := fr.Page
-		sh.mu.Unlock()
-		return res, false, nil
-	}
-}
-
-// Contains reports whether the page is resident in its shard, without
-// counting a request.
-func (p *ShardedPool) Contains(id page.ID) bool {
-	sh := p.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.m.Contains(id)
-}
-
-// Flush writes back all dirty resident pages, shard by shard. On an
-// async pool it first drains the background write-back queue, so when
-// Flush returns every write-back decided before the call is durable.
-// The drain comes first deliberately: queued pages are never resident
-// (re-admission cancels their queued write), so the two write sets are
-// disjoint, and draining first means no background writer is still
-// running behind the per-shard flushes.
+// Flush writes back all dirty resident pages, draining the background
+// write-back queue first on async pools.
 func (p *ShardedPool) Flush() error {
-	if p.wb != nil {
-		if err := p.wb.drain(); err != nil {
-			return fmt.Errorf("buffer: write-back drain: %w", err)
-		}
+	if p.a != nil {
+		return p.a.Flush()
 	}
-	for i, sh := range p.shards {
-		sh.mu.Lock()
-		err := sh.m.Flush()
-		sh.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("buffer: flush shard %d: %w", i, err)
-		}
-	}
-	return nil
+	return p.Router.Flush()
 }
 
-// Close flushes the pool (draining the write-back queue) and stops the
-// background writer goroutines. The pool remains usable afterwards —
-// with the queue closed, dirty evictions fall back to synchronous
-// writes. Synchronous pools treat Close as Flush.
+// Close flushes the pool and, on async pools, stops the background
+// writer goroutines. Synchronous pools treat Close as Flush.
 func (p *ShardedPool) Close() error {
-	err := p.Flush()
-	if p.wb != nil {
-		if cerr := p.wb.close(); cerr != nil && err == nil {
-			err = cerr
-		}
+	if p.a != nil {
+		return p.a.Close()
 	}
-	return err
+	return p.Router.Close()
 }
 
 // Clear evicts everything, resets every shard's policy and zeroes all
-// counters. Shards are cleared one at a time; concurrent requests
-// against not-yet-cleared shards proceed normally, so quiesce the pool
-// first when a globally cold start matters.
+// counters, draining the write-back queue first on async pools.
 func (p *ShardedPool) Clear() error {
-	if p.wb != nil {
-		// Write queued pages out before the reset, and clear the sticky
-		// write error either way — Clear zeroes all accounting.
-		err := p.wb.drain()
-		p.wb.resetErr()
-		if err != nil {
-			return fmt.Errorf("buffer: write-back drain: %w", err)
-		}
+	if p.a != nil {
+		return p.a.Clear()
 	}
-	for i, sh := range p.shards {
-		sh.mu.Lock()
-		err := sh.m.Clear()
-		sh.mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("buffer: clear shard %d: %w", i, err)
-		}
-	}
-	return nil
+	return p.Router.Clear()
 }
 
-// Stats returns the merge (Stats.Add) of the per-shard counters. Under
-// concurrent load the shards are snapshotted one after another, so the
-// merged values are per-shard consistent but not a single instant in
-// global time — the usual multi-counter scrape contract.
-func (p *ShardedPool) Stats() Stats {
-	var total Stats
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		s := sh.m.Stats()
-		sh.mu.Unlock()
-		total.Add(s)
-	}
-	return total
-}
-
-// Len returns the total number of resident pages across all shards.
-func (p *ShardedPool) Len() int {
-	n := 0
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		n += sh.m.Len()
-		sh.mu.Unlock()
-	}
-	return n
-}
-
-// ResidentIDs returns the IDs of all resident pages across all shards,
-// sorted (the per-shard order is unspecified, so sorting makes the
-// result deterministic for tests and diffing).
-func (p *ShardedPool) ResidentIDs() []page.ID {
-	var ids []page.ID
-	for _, sh := range p.shards {
-		sh.mu.Lock()
-		ids = append(ids, sh.m.ResidentIDs()...)
-		sh.mu.Unlock()
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// SetSink attaches one observability sink to every shard, wrapped with
-// obs.TagShard so each event carries its shard index; Manager.SetSink
-// forwards the tagged sink to each shard's policy, so the whole sharded
-// stack emits into s. The sink receives events from all shards
-// concurrently and must be safe for concurrent use (obs.Counters, the
-// live service sink and the async ring are). A nil sink detaches.
-func (p *ShardedPool) SetSink(s obs.Sink) {
-	for i, sh := range p.shards {
-		sh.mu.Lock()
-		sh.m.SetSink(obs.TagShard(s, i))
-		sh.mu.Unlock()
-	}
-}
-
-// SetTracer attaches one request-scoped span tracer to every shard (see
-// Manager.SetTracer); each shard records under its own index, into its
-// own trace ring, so spans carry the shard the page hashed to. While a
-// tracer is attached, each request's shard-lock wait is measured and
-// lands in its root span's LockWait. The tracer must have been built
-// with at least Shards() rings. A nil tracer detaches.
+// SetTracer attaches a tracer to every shard and, on async pools, to
+// the background write-back workers. A nil tracer detaches.
 func (p *ShardedPool) SetTracer(t *tracing.Tracer) {
-	for i, sh := range p.shards {
-		sh.mu.Lock()
-		sh.m.SetTracer(t, i)
-		sh.mu.Unlock()
+	if p.a != nil {
+		p.a.SetTracer(t)
+		return
 	}
-	if p.wb != nil {
-		p.wb.setTracer(t)
-	}
-	p.traceWait.Store(t != nil)
-}
-
-// EnableContention attaches a shard-contention profiler: every request's
-// lock acquisition reports its wait time and queue position under its
-// shard index. The profiler must have been built with at least Shards()
-// shards. Pass nil to stop profiling.
-func (p *ShardedPool) EnableContention(c *tracing.Contention) {
-	p.contention.Store(c)
+	p.Router.SetTracer(t)
 }

@@ -1,162 +1,15 @@
 package buffer
 
-import (
-	"sync"
-	"sync/atomic"
-	"time"
+// SyncManager is the historical name of the locking layer. It is kept
+// as an alias so existing type switches and embedders keep working; new
+// code should use LockedEngine / Lock.
+type SyncManager = LockedEngine
 
-	"repro/internal/obs"
-	"repro/internal/obs/tracing"
-	"repro/internal/page"
-)
-
-// SyncManager wraps a Manager with a mutex so that multiple goroutines
-// can share one buffer (e.g. concurrent read-only queries against the
-// same tree and buffer). The experiment harness instead runs one manager
-// per goroutine — replays are independent — but applications embedding
-// the library typically want a single shared buffer.
+// NewSyncManager wraps an existing engine with the locking layer. The
+// wrapped engine must not be used directly afterwards.
 //
-// The wrapper serializes whole requests; it trades concurrency for the
-// strict accounting the policies rely on (policy callbacks observe a
-// consistent buffer state).
-type SyncManager struct {
-	mu sync.Mutex
-	m  *Manager
-
-	// contention, when set, profiles acquisitions of mu as shard 0;
-	// traceWait additionally feeds the measured wait into the root span
-	// of traced requests. Both are read before taking mu, hence atomic.
-	contention atomic.Pointer[tracing.Contention]
-	traceWait  atomic.Bool
-}
-
-// NewSyncManager wraps an existing manager. The wrapped manager must not
-// be used directly afterwards.
+// Deprecated: use Lock, or build the composition with
+// Composition.Build.
 func NewSyncManager(m *Manager) *SyncManager {
-	return &SyncManager{m: m}
-}
-
-// lockRequest acquires the mutex for a request, measuring the wait when
-// a contention profiler or tracer wants it. The common case (neither
-// attached) is two atomic loads plus the plain Lock.
-func (s *SyncManager) lockRequest() {
-	c := s.contention.Load()
-	traced := s.traceWait.Load()
-	if c == nil && !traced {
-		s.mu.Lock()
-		return
-	}
-	if c != nil {
-		c.BeginWait(0)
-	}
-	start := time.Now()
-	s.mu.Lock()
-	wait := time.Since(start).Nanoseconds()
-	if c != nil {
-		c.EndWait(0, wait)
-	}
-	if traced {
-		s.m.depositLockWait(wait)
-	}
-}
-
-// Get implements the Reader contract of rtree.Reader.
-func (s *SyncManager) Get(id page.ID, ctx AccessContext) (*page.Page, error) {
-	s.lockRequest()
-	defer s.mu.Unlock()
-	return s.m.Get(id, ctx)
-}
-
-// Put installs a new page version (see Manager.Put).
-func (s *SyncManager) Put(p *page.Page, ctx AccessContext) error {
-	s.lockRequest()
-	defer s.mu.Unlock()
-	return s.m.Put(p, ctx)
-}
-
-// Fix pins a page (see Manager.Fix).
-func (s *SyncManager) Fix(id page.ID, ctx AccessContext) (*page.Page, error) {
-	s.lockRequest()
-	defer s.mu.Unlock()
-	return s.m.Fix(id, ctx)
-}
-
-// Unfix releases a pin (see Manager.Unfix). Like the other request
-// methods it routes through lockRequest, so contention profiling and
-// traced root spans cover pin releases too.
-func (s *SyncManager) Unfix(id page.ID) error {
-	s.lockRequest()
-	defer s.mu.Unlock()
-	return s.m.Unfix(id)
-}
-
-// MarkDirty flags a resident page for write-back (see Manager.MarkDirty),
-// routed through lockRequest like every other request method.
-func (s *SyncManager) MarkDirty(id page.ID) error {
-	s.lockRequest()
-	defer s.mu.Unlock()
-	return s.m.MarkDirty(id)
-}
-
-// Contains reports whether the page is resident (see Manager.Contains).
-func (s *SyncManager) Contains(id page.ID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m.Contains(id)
-}
-
-// Flush writes back all dirty pages (see Manager.Flush).
-func (s *SyncManager) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m.Flush()
-}
-
-// Clear resets the buffer (see Manager.Clear).
-func (s *SyncManager) Clear() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m.Clear()
-}
-
-// Stats returns a snapshot of the counters.
-func (s *SyncManager) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m.Stats()
-}
-
-// Len returns the number of resident pages.
-func (s *SyncManager) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.m.Len()
-}
-
-// SetSink attaches an observability sink (see Manager.SetSink). Events
-// are emitted under the wrapper's mutex, so any sink works here — but a
-// concurrency-safe aggregator like obs.Counters keeps critical sections
-// short.
-func (s *SyncManager) SetSink(sink obs.Sink) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m.SetSink(sink)
-}
-
-// SetTracer attaches a request-scoped span tracer to the wrapped manager
-// (see Manager.SetTracer); the SyncManager records as shard 0. While a
-// tracer is attached, each request's mutex wait is measured and lands in
-// its root span's LockWait. A nil tracer detaches.
-func (s *SyncManager) SetTracer(t *tracing.Tracer) {
-	s.mu.Lock()
-	s.m.SetTracer(t, 0)
-	s.mu.Unlock()
-	s.traceWait.Store(t != nil)
-}
-
-// EnableContention attaches a lock-contention profiler; the single mutex
-// reports as shard 0 (the profiler should be built with ≥ 1 shard). Pass
-// nil to stop profiling.
-func (s *SyncManager) EnableContention(c *tracing.Contention) {
-	s.contention.Store(c)
+	return Lock(m)
 }

@@ -105,7 +105,7 @@ type ASB struct {
 
 	// gCand/gOver mirror cand and over.Len() atomically so that a
 	// metrics scraper can read the live gauges without taking the
-	// SyncManager lock that serializes the policy callbacks.
+	// engine lock that serializes the policy callbacks.
 	gCand atomic.Int64
 	gOver atomic.Int64
 }

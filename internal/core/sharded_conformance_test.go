@@ -8,10 +8,11 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/page"
+	"repro/internal/storage"
 )
 
 // shardableFactories returns every standard policy factory plus FIFO, as
-// factories (the sharded pool needs one instance per shard).
+// factories (the sharding layer needs one instance per shard).
 func shardableFactories() []core.Factory {
 	fs := core.StandardFactories()
 	fs = append(fs, core.Factory{Name: "FIFO", New: func(int) buffer.Policy { return core.NewFIFO() }})
@@ -19,7 +20,7 @@ func shardableFactories() []core.Factory {
 }
 
 // conformanceSeq builds the mixed-locality reference string shared by the
-// sharded conformance tests.
+// composition conformance tests.
 func conformanceSeq(numPages, n int, seed int64) []access {
 	rng := rand.New(rand.NewSource(seed))
 	var seq []access
@@ -58,28 +59,60 @@ func conformanceSpecs(numPages int, seed int64) []pageSpec {
 	return specs
 }
 
-// TestShardedPoolConformance runs every standard policy inside a
-// multi-shard pool against the invariants of the single-manager
-// conformance suite: capacity respected, resident pages always hit,
-// hits+misses = requests, physical reads = misses, Clear cold-starts.
+// buildComposition parses the spec and builds the pool over a fresh
+// store, failing the test on any error.
+func buildComposition(t *testing.T, spec string, s *storage.MemStore, f core.Factory, capacity int) buffer.Pool {
+	t.Helper()
+	comp, err := buffer.ParseComposition(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := comp.Build(s, f.New, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// closePool closes compositions that hold background resources (the
+// async layer's write-back workers); the others have no Close.
+func closePool(t *testing.T, p buffer.Pool) {
+	t.Helper()
+	if c, ok := p.(interface{ Close() error }); ok {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type containsPool interface {
+	buffer.Pool
+	Contains(id page.ID) bool
+	ResidentIDs() []page.ID
+}
+
+// TestShardedPoolConformance runs every standard policy inside the
+// multi-shard compositions — sharded and async — against the invariants
+// of the single-manager conformance suite: capacity respected, resident
+// pages always hit, hits+misses = requests, physical reads = misses
+// (single-threaded and read-only, so the async layer coalesces nothing),
+// Clear cold-starts.
 func TestShardedPoolConformance(t *testing.T) {
 	const numPages = 80
 	specs := conformanceSpecs(numPages, 31)
 	seq := conformanceSeq(numPages, 4000, 31)
 
-	for _, shards := range []int{2, 4} {
+	for _, spec := range []string{
+		"sharded,shards=2", "sharded,shards=4",
+		"async,shards=2", "async,shards=4",
+	} {
 		for _, f := range shardableFactories() {
 			f := f
 			capacity := 16
-			t.Run(f.Name+"/shards="+itoa(shards), func(t *testing.T) {
+			t.Run(f.Name+"/"+spec, func(t *testing.T) {
 				s := buildStore(t, specs)
-				p, err := buffer.NewShardedPool(s, f.New, capacity, shards)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if p.Shards() != shards {
-					t.Fatalf("Shards() = %d, want %d", p.Shards(), shards)
-				}
+				p := buildComposition(t, spec, s, f, capacity).(containsPool)
+				defer closePool(t, p)
 				for _, a := range seq {
 					wasResident := p.Contains(a.id)
 					hitsBefore := p.Stats().Hits
@@ -123,106 +156,107 @@ func TestShardedPoolConformance(t *testing.T) {
 }
 
 // TestShardedPoolSingleShardMatchesManager replays the conformance
-// reference string through ShardedPool{shards: 1} and a bare Manager for
-// every standard policy: the stats and the resident set must be
-// identical access for access — the behavioural-equivalence guarantee
-// documented on ShardedPool.
+// reference string through every composition that must route like one
+// big buffer — locked, single-shard sharded, single-shard async — and a
+// bare engine, for every standard policy: the stats and the resident
+// set must be identical access for access. This is the
+// behavioural-equivalence guarantee the layer stack documents.
 func TestShardedPoolSingleShardMatchesManager(t *testing.T) {
 	const numPages, capacity = 80, 16
 	specs := conformanceSpecs(numPages, 31)
 	seq := conformanceSeq(numPages, 3000, 37)
 
-	for _, f := range shardableFactories() {
-		f := f
-		t.Run(f.Name, func(t *testing.T) {
-			sm := buildStore(t, specs)
-			m := mustManager(t, sm, f.New(capacity), capacity)
-			sp, err := buffer.NewShardedPool(buildStore(t, specs), f.New, capacity, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i, a := range seq {
-				ctx := buffer.AccessContext{QueryID: a.query}
-				if _, err := m.Get(a.id, ctx); err != nil {
-					t.Fatal(err)
+	for _, spec := range []string{"locked", "sharded,shards=1", "async,shards=1"} {
+		for _, f := range shardableFactories() {
+			f := f
+			t.Run(f.Name+"/"+spec, func(t *testing.T) {
+				sm := buildStore(t, specs)
+				m := mustManager(t, sm, f.New(capacity), capacity)
+				sp := buildComposition(t, spec, buildStore(t, specs), f, capacity).(containsPool)
+				defer closePool(t, sp)
+				for i, a := range seq {
+					ctx := buffer.AccessContext{QueryID: a.query}
+					if _, err := m.Get(a.id, ctx); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := sp.Get(a.id, ctx); err != nil {
+						t.Fatal(err)
+					}
+					if m.Contains(a.id) != sp.Contains(a.id) {
+						t.Fatalf("residency diverged at access %d (page %d)", i, a.id)
+					}
+					if m.Stats() != sp.Stats() {
+						t.Fatalf("stats diverged at access %d:\nengine      %+v\ncomposition %+v",
+							i, m.Stats(), sp.Stats())
+					}
 				}
-				if _, err := sp.Get(a.id, ctx); err != nil {
-					t.Fatal(err)
+				wantSet := make(map[page.ID]bool)
+				for _, id := range m.ResidentIDs() {
+					wantSet[id] = true
 				}
-				if m.Contains(a.id) != sp.Contains(a.id) {
-					t.Fatalf("residency diverged at access %d (page %d)", i, a.id)
+				got := sp.ResidentIDs()
+				if len(got) != len(wantSet) {
+					t.Fatalf("resident count: composition %d, engine %d", len(got), len(wantSet))
 				}
-				if m.Stats() != sp.Stats() {
-					t.Fatalf("stats diverged at access %d:\nmanager %+v\nsharded %+v",
-						i, m.Stats(), sp.Stats())
+				for _, id := range got {
+					if !wantSet[id] {
+						t.Fatalf("resident sets differ on page %d", id)
+					}
 				}
-			}
-			wantSet := make(map[page.ID]bool)
-			for _, id := range m.ResidentIDs() {
-				wantSet[id] = true
-			}
-			got := sp.ResidentIDs()
-			if len(got) != len(wantSet) {
-				t.Fatalf("resident count: sharded %d, manager %d", len(got), len(wantSet))
-			}
-			for _, id := range got {
-				if !wantSet[id] {
-					t.Fatalf("resident sets differ on page %d", id)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
 // TestShardedPoolConcurrentPolicies drives every standard policy inside
-// a sharded pool from several goroutines at once. Run under -race this
-// checks that the per-shard mutexes fully serialize policy state; the
-// final accounting checks no request was lost.
+// the concurrent compositions from several goroutines at once. Run under
+// -race this checks that the locking layer fully serializes policy
+// state per shard; the final accounting checks no request was lost.
 func TestShardedPoolConcurrentPolicies(t *testing.T) {
-	const numPages, capacity, shards, workers, perWorker = 80, 16, 4, 4, 1500
+	const numPages, capacity, workers, perWorker = 80, 16, 4, 1500
 	specs := conformanceSpecs(numPages, 31)
 
-	for _, f := range shardableFactories() {
-		f := f
-		t.Run(f.Name, func(t *testing.T) {
-			s := buildStore(t, specs)
-			p, err := buffer.NewShardedPool(s, f.New, capacity, shards)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var wg sync.WaitGroup
-			errs := make(chan error, workers)
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					seq := conformanceSeq(numPages, perWorker, int64(w)+100)
-					for _, a := range seq {
-						// Distinct query-ID ranges per worker keep intra-query
-						// correlation (LRU-K) meaningful under concurrency.
-						ctx := buffer.AccessContext{QueryID: uint64(w)<<32 | a.query}
-						if _, err := p.Get(a.id, ctx); err != nil {
-							errs <- err
-							return
+	for _, spec := range []string{"locked", "sharded,shards=4", "async,shards=4"} {
+		for _, f := range shardableFactories() {
+			f := f
+			t.Run(f.Name+"/"+spec, func(t *testing.T) {
+				s := buildStore(t, specs)
+				p := buildComposition(t, spec, s, f, capacity)
+				defer closePool(t, p)
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						seq := conformanceSeq(numPages, perWorker, int64(w)+100)
+						for _, a := range seq {
+							// Distinct query-ID ranges per worker keep intra-query
+							// correlation (LRU-K) meaningful under concurrency.
+							ctx := buffer.AccessContext{QueryID: uint64(w)<<32 | a.query}
+							if _, err := p.Get(a.id, ctx); err != nil {
+								errs <- err
+								return
+							}
 						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			close(errs)
-			for err := range errs {
-				t.Fatal(err)
-			}
-			st := p.Stats()
-			if st.Requests != workers*perWorker {
-				t.Fatalf("requests = %d, want %d", st.Requests, workers*perWorker)
-			}
-			if st.Hits+st.Misses != st.Requests {
-				t.Fatalf("stats inconsistent: %+v", st)
-			}
-			if p.Len() > capacity {
-				t.Fatalf("capacity exceeded: %d > %d", p.Len(), capacity)
-			}
-		})
+					}(w)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				st := p.Stats()
+				if st.Requests != workers*perWorker {
+					t.Fatalf("requests = %d, want %d", st.Requests, workers*perWorker)
+				}
+				if st.Hits+st.Misses != st.Requests {
+					t.Fatalf("stats inconsistent: %+v", st)
+				}
+				if p.Len() > capacity {
+					t.Fatalf("capacity exceeded: %d > %d", p.Len(), capacity)
+				}
+			})
+		}
 	}
 }

@@ -5,14 +5,24 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/page"
 	"repro/internal/trace"
 )
 
+// residentLister is the introspection surface every pool composition
+// exposes for the equivalence checks.
+type residentLister interface {
+	ResidentIDs() []page.ID
+}
+
 // TestShardedReplayEquivalence replays a recorded reference string of a
-// real query set through a single-shard ShardedPool and through a bare
-// Manager: the pool interface must not change a single counter. This is
-// the end-to-end version of the unit-level equivalence tests — same
-// database build, same trace cache, same policies as the experiments.
+// real query set through every composition that routes like a bare
+// engine — locked, single-shard sharded, single-shard async — and
+// through the bare engine itself: the layer stack must not change a
+// single counter. This is the end-to-end version of the unit-level
+// equivalence tests — same database build, same trace cache, same
+// policies as the experiments (the replay is read-only, so the async
+// equivalence is unconditional).
 func TestShardedReplayEquivalence(t *testing.T) {
 	db := tinyDB(t, 1)
 	tr, err := db.Trace("U-P", 1)
@@ -27,7 +37,7 @@ func TestShardedReplayEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Run(name, func(t *testing.T) {
-			m, err := buffer.NewManager(db.Store, f.New(frames), frames)
+			m, err := buffer.NewEngine(db.Store, f.New(frames), frames)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -35,40 +45,52 @@ func TestShardedReplayEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-
-			sp, err := buffer.NewShardedPool(db.Store, f.New, frames, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got, err := trace.ReplayOn(tr, sp)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got != want {
-				t.Errorf("stats diverged:\nmanager %+v\nsharded %+v", want, got)
-			}
-
-			wantSet := make(map[int64]bool)
+			wantSet := make(map[page.ID]bool)
 			for _, id := range m.ResidentIDs() {
-				wantSet[int64(id)] = true
+				wantSet[id] = true
 			}
-			resident := sp.ResidentIDs()
-			if len(resident) != len(wantSet) {
-				t.Fatalf("resident count: sharded %d, manager %d", len(resident), len(wantSet))
-			}
-			for _, id := range resident {
-				if !wantSet[int64(id)] {
-					t.Errorf("resident sets differ on page %d", id)
+
+			for _, spec := range []string{"locked", "sharded,shards=1", "async,shards=1"} {
+				comp, err := buffer.ParseComposition(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool, err := comp.Build(db.Store, f.New, frames)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := trace.ReplayOn(tr, pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s: stats diverged:\nbare engine %+v\ncomposition %+v", spec, want, got)
+				}
+				resident := pool.(residentLister).ResidentIDs()
+				if len(resident) != len(wantSet) {
+					t.Fatalf("%s: resident count %d, bare engine %d", spec, len(resident), len(wantSet))
+				}
+				for _, id := range resident {
+					if !wantSet[id] {
+						t.Errorf("%s: resident sets differ on page %d", spec, id)
+					}
+				}
+				if c, ok := pool.(interface{ Close() error }); ok {
+					if err := c.Close(); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 		})
 	}
 }
 
-// TestShardedReplayPartitioned replays the same trace through a
-// multi-shard pool: counters must stay internally consistent (every
-// reference accounted once) even though the partitioned resident set can
-// legitimately change the hit count relative to one big buffer.
+// TestShardedReplayPartitioned replays the same trace through
+// multi-shard compositions: counters must stay internally consistent
+// (every reference accounted once) even though the partitioned resident
+// set can legitimately change the hit count relative to one big buffer,
+// and the sharded and async layouts must agree with each other (same
+// routing, read-only replay).
 func TestShardedReplayPartitioned(t *testing.T) {
 	db := tinyDB(t, 1)
 	tr, err := db.Trace("U-P", 1)
@@ -80,28 +102,50 @@ func TestShardedReplayPartitioned(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := buffer.NewShardedPool(db.Store, f.New, frames, 4)
-	if err != nil {
-		t.Fatal(err)
+
+	stats := make(map[string]buffer.Stats)
+	for _, spec := range []string{"sharded,shards=4", "async,shards=4"} {
+		comp, err := buffer.ParseComposition(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := comp.Build(db.Store, f.New, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := trace.ReplayOn(tr, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Requests != uint64(tr.Len()) {
+			t.Errorf("%s: requests = %d, want %d", spec, st.Requests, tr.Len())
+		}
+		if st.Hits+st.Misses != st.Requests {
+			t.Errorf("%s: stats inconsistent: %+v", spec, st)
+		}
+		sh := pool.(interface {
+			Shards() int
+			ShardStats(i int) buffer.Stats
+		})
+		var merged buffer.Stats
+		for i := 0; i < sh.Shards(); i++ {
+			merged.Add(sh.ShardStats(i))
+		}
+		if merged != st {
+			t.Errorf("%s: per-shard merge %+v != Stats() %+v", spec, merged, st)
+		}
+		if pool.Len() > frames {
+			t.Errorf("%s: capacity exceeded: %d > %d", spec, pool.Len(), frames)
+		}
+		if c, ok := pool.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats[spec] = st
 	}
-	st, err := trace.ReplayOn(tr, sp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Requests != uint64(tr.Len()) {
-		t.Errorf("requests = %d, want %d", st.Requests, tr.Len())
-	}
-	if st.Hits+st.Misses != st.Requests {
-		t.Errorf("stats inconsistent: %+v", st)
-	}
-	var merged buffer.Stats
-	for i := 0; i < sp.Shards(); i++ {
-		merged.Add(sp.ShardStats(i))
-	}
-	if merged != st {
-		t.Errorf("per-shard merge %+v != Stats() %+v", merged, st)
-	}
-	if sp.Len() > frames {
-		t.Errorf("capacity exceeded: %d > %d", sp.Len(), frames)
+	if stats["sharded,shards=4"] != stats["async,shards=4"] {
+		t.Errorf("sharded vs async diverged on a read-only replay:\nsharded %+v\nasync   %+v",
+			stats["sharded,shards=4"], stats["async,shards=4"])
 	}
 }

@@ -55,7 +55,7 @@ func reasonSlot(r string) int {
 // Counters is a concurrency-safe event aggregator: plain atomic
 // counters, cheap enough to leave attached in production. It implements
 // Sink and may be shared by several producers (e.g. one Counters behind
-// a buffer.SyncManager serving many goroutines, or one per shard summed
+// a buffer.LockedEngine serving many goroutines, or one per shard summed
 // at scrape time). Its Snapshot is the single source of truth for both
 // the expvar-style JSON (String, /vars) and the Prometheus exposition
 // (/metrics): everything either exporter publishes about the event

@@ -8,7 +8,7 @@ import (
 
 // AddContentionGauges registers shard-labeled lock-contention gauges fed
 // by a tracing.Contention profiler (attach the profiler to the pool with
-// ShardedPool.EnableContention or SyncManager.EnableContention). Each
+// Router.EnableContention or LockedEngine.EnableContention). Each
 // shard exposes its cumulative lock-wait time, the instantaneous queue
 // depth on its lock, and its completed acquisitions — the aggregate view
 // of the per-request LockWait field of trace spans, answering "which

@@ -42,7 +42,7 @@ type ringEvent struct {
 
 // AsyncSink is a fixed-capacity multi-producer, single-consumer ring
 // between event producers (the buffer manager and its policy, possibly
-// many goroutines behind a SyncManager) and one downstream sink drained
+// many goroutines behind a LockedEngine) and one downstream sink drained
 // by a dedicated goroutine. Producers never block: when the ring is
 // full, the event is dropped and counted. The downstream sink is only
 // ever touched by the drainer goroutine, so single-goroutine sinks

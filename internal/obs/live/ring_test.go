@@ -126,11 +126,11 @@ func TestSyncManagerWithAsyncRingSink(t *testing.T) {
 
 	store := newStore(t, pages)
 	pol := core.NewASB(frames, core.DefaultASBOptions())
-	m, err := buffer.NewManager(store, pol, frames)
+	m, err := buffer.NewEngine(store, pol, frames)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sm := buffer.NewSyncManager(m)
+	sm := buffer.Lock(m)
 
 	var down obs.Counters
 	// Capacity comfortably above the worst-case event volume (each

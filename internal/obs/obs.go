@@ -30,7 +30,7 @@ import "repro/internal/page"
 
 // RequestEvent describes one read-path buffer request. Shard is the
 // index of the pool shard that served the request; 0 for unsharded
-// pools (buffer.ShardedPool tags each shard's events through TagShard).
+// pools (buffer.Router tags each shard's events through TagShard).
 type RequestEvent struct {
 	Page    page.ID
 	QueryID uint64
@@ -110,8 +110,9 @@ type AdaptEvent struct {
 // Sink receives buffer and policy events. Implementations must treat the
 // calls as hot-path: no locking beyond what the caller's concurrency
 // model requires, no retention of pointers into policy state (events are
-// self-contained values). A sink used with buffer.SyncManager must be
-// safe for concurrent use (Counters is; the file-writing sinks are not).
+// self-contained values). A sink used with a concurrent composition
+// (buffer.LockedEngine and above) must be safe for concurrent use
+// (Counters is; the file-writing sinks are not).
 type Sink interface {
 	Request(e RequestEvent)
 	Eviction(e EvictionEvent)
@@ -294,7 +295,7 @@ type timedShardTagger struct {
 func (t timedShardTagger) RecordLatency(nanos int64) { t.timer.RecordLatency(nanos) }
 
 // TagShard wraps a sink so every event it receives carries the given
-// shard index — buffer.ShardedPool attaches one per shard, so one shared
+// shard index — buffer.Router attaches one per shard, so one shared
 // concurrency-safe sink (Counters, the live service, an async ring) sees
 // the merged stream with shard attribution. Nil and NopSink pass through
 // untouched (tagging a discarded event buys nothing); a sink that

@@ -61,21 +61,22 @@ func drivePool(tb testing.TB, pool buffer.Pool, workers int, ops int64) {
 	}
 }
 
-// benchPool builds the serving configuration bufserve deploys: an async
-// sharded pool over a MemStore. withBank attaches a default shadow bank
-// behind an AsyncSink — the exact production composition — so the
+// benchPool builds the serving configuration bufserve deploys: the
+// async composition over a MemStore. withBank attaches a default shadow
+// bank behind an AsyncSink — the exact production composition — so the
 // benchmark's on/off delta is the shadow profiler's request-path cost.
-func benchPool(tb testing.TB, withBank bool) (pool *buffer.ShardedPool, cleanup func()) {
+func benchPool(tb testing.TB, withBank bool) (pool *buffer.AsyncPool, cleanup func()) {
 	tb.Helper()
 	store := newStore(tb, benchNumPages)
 	lru, err := core.Resolver("LRU")
 	if err != nil {
 		tb.Fatal(err)
 	}
-	pool, err = buffer.NewAsyncShardedPool(store, lru, benchCapacity, benchShards, buffer.AsyncConfig{})
+	router, err := buffer.NewRouter(store, lru, benchCapacity, benchShards)
 	if err != nil {
 		tb.Fatal(err)
 	}
+	pool = buffer.Async(router, buffer.AsyncConfig{})
 	if !withBank {
 		return pool, func() { pool.Close() }
 	}

@@ -31,8 +31,9 @@ func (s storeIO) Allocate() page.ID                   { return s.store.Allocate(
 // bufferedIO routes node reads through a buffer pool's read path and
 // node writes through its write path (dirty pages are written back on
 // eviction), under a fixed access context. Any buffer.Pool works: a
-// plain Manager for the single-threaded experiments, a SyncManager or
-// ShardedPool when the tree shares its buffer with concurrent readers.
+// bare Engine for the single-threaded experiments, a locked, sharded or
+// async composition when the tree shares its buffer with concurrent
+// readers.
 type bufferedIO struct {
 	pool  buffer.Pool
 	store storage.Store

@@ -9,8 +9,9 @@ import (
 	"repro/internal/page"
 )
 
-// Reader supplies tree pages to queries. Every buffer.Pool (Manager,
-// SyncManager, ShardedPool) implements it, so queries can be routed
+// Reader supplies tree pages to queries. Every buffer.Pool composition
+// (Engine, LockedEngine, Router, AsyncPool) implements it, so queries
+// can be routed
 // through a buffer whose replacement policy is under study — including
 // a shared concurrent pool serving many query goroutines; StoreReader
 // bypasses buffering.

@@ -105,8 +105,8 @@ func ReplayTraced(tr *Trace, store storage.Store, pol buffer.Policy, capacity in
 
 // ReplayOn replays the trace on an existing buffer pool (which is
 // cleared first, as the paper clears the buffer before each query set).
-// Any buffer.Pool works: a Manager for the single-threaded experiments,
-// a ShardedPool to measure partitioned policies.
+// Any buffer.Pool works: a bare Engine for the single-threaded
+// experiments, a sharded composition to measure partitioned policies.
 func ReplayOn(tr *Trace, p buffer.Pool) (buffer.Stats, error) {
 	if err := p.Clear(); err != nil {
 		return buffer.Stats{}, err
